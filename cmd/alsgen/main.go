@@ -1,0 +1,117 @@
+// Command alsgen runs the live approximate-logic-synthesis flow the
+// registry's "_syn" stand-ins abbreviate: take an exact array
+// multiplier netlist, greedily replace gates with constants under an
+// NMED budget (standing in for ALSRAC [28]), report the hardware and
+// error deltas, and optionally serialize the result's product LUT and
+// difference-gradient tables for use by the retraining framework.
+//
+//	alsgen -bits 6 -budget 0.5 -out mul6u_syn.lut -gradout mul6u_syn.grad
+//
+// Note: candidate scoring simulates the netlist per substitution
+// round, so wide multipliers are slow (8-bit: minutes); the registry
+// ships fitted stand-ins for that reason (DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/errmetrics"
+	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/lut"
+	"github.com/appmult/retrain/internal/mulsynth"
+	"github.com/appmult/retrain/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("alsgen: ")
+	var (
+		bits    = flag.Int("bits", 6, "operand width B (<= 8; > 6 is slow)")
+		budget  = flag.Float64("budget", 0.5, "NMED budget in percent")
+		maxSubs = flag.Int("maxsubs", 24, "maximum accepted substitutions")
+		vectors = flag.Int("vectors", 1024, "sampling vectors for candidate scoring")
+		seed    = flag.Int64("seed", 1, "sampling seed")
+		hws     = flag.Int("hws", 4, "half window size for the gradient tables")
+		out     = flag.String("out", "", "write the product LUT to this file")
+		gradout = flag.String("gradout", "", "write difference-gradient tables to this file")
+		vout    = flag.String("verilogout", "", "write the synthesized netlist as structural Verilog")
+	)
+	flag.Parse()
+	if *bits < 2 || *bits > 8 {
+		log.Fatalf("bits %d outside [2,8]", *bits)
+	}
+
+	lib := tech.ASAP7()
+	name := fmt.Sprintf("mul%du_als", *bits)
+	exact := mulsynth.BuildAccurate(name, *bits)
+	before := exact.Analyze(lib, circuit.PowerOptions{Vectors: 2048, Seed: *seed})
+
+	log.Printf("synthesizing (budget %.2f%% NMED, %d gates to start)...", *budget, before.Gates)
+	synth, subs := mulsynth.ApproxSynth(exact, *bits, lib, mulsynth.ALSOptions{
+		NMEDBudget: *budget, SampleVectors: *vectors, Seed: *seed, MaxSubs: *maxSubs,
+	})
+	after := synth.Analyze(lib, circuit.PowerOptions{Vectors: 2048, Seed: *seed})
+
+	m := appmult.FromNetlist(name, *bits, synth)
+	em := errmetrics.Exhaustive(*bits, m.Mul)
+
+	fmt.Printf("%s: %d substitutions accepted\n", name, len(subs))
+	fmt.Printf("  gates: %4d -> %4d\n", before.Gates, after.Gates)
+	fmt.Printf("  area:  %6.2f -> %6.2f um^2 (-%.0f%%)\n", before.AreaUM2, after.AreaUM2,
+		(1-after.AreaUM2/before.AreaUM2)*100)
+	fmt.Printf("  delay: %6.1f -> %6.1f ps\n", before.DelayPS, after.DelayPS)
+	fmt.Printf("  power: %6.2f -> %6.2f uW (-%.0f%%)\n", before.PowerUW, after.PowerUW,
+		(1-after.PowerUW/before.PowerUW)*100)
+	fmt.Printf("  errors: %v (exhaustive)\n", em)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := lut.WriteProduct(f, name, *bits, appmult.BuildLUT(m)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("product LUT written to %s", *out)
+	}
+	if *vout != "" {
+		f, err := os.Create(*vout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := synth.WriteVerilog(f, name); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("Verilog written to %s", *vout)
+	}
+	if *gradout != "" {
+		maxHWS := gradient.MaxHWS(*bits)
+		h := *hws
+		if h > maxHWS {
+			h = maxHWS
+		}
+		tables := gradient.Difference(name, *bits, h, m.Mul)
+		f, err := os.Create(*gradout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := lut.WriteTables(f, tables); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("gradient tables written to %s", *gradout)
+	}
+}

@@ -1,0 +1,89 @@
+// Command amchar reproduces the paper's Table I: for every registry
+// multiplier it reports synthesized/modeled area, delay, and power
+// (ASAP7-class library, 1 GHz, uniform random inputs) alongside the
+// exhaustively measured ER / NMED / MaxED error metrics and the
+// selected half window size, with the paper's published values for
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/errmetrics"
+	"github.com/appmult/retrain/internal/report"
+	"github.com/appmult/retrain/internal/tech"
+)
+
+func main() {
+	var (
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		vectors = flag.Int("vectors", 4096, "Monte-Carlo vectors for power estimation")
+		paper   = flag.Bool("paper", false, "append the paper's published values to each row")
+		dist    = flag.String("dist", "uniform", "operand distribution for the error metrics: uniform|dnn (Gaussian weights x exponential activations)")
+	)
+	flag.Parse()
+	if *dist != "uniform" && *dist != "dnn" {
+		fmt.Fprintf(os.Stderr, "amchar: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	lib := tech.ASAP7()
+	opt := circuit.PowerOptions{Vectors: *vectors, Seed: 1}
+
+	header := []string{"multiplier", "area/um2", "delay/ps", "power/uW", "ER/%", "NMED/%", "MaxED", "HWS", "src"}
+	if *paper {
+		header = append(header, "paper(area,delay,power,ER,NMED,MaxED)")
+	}
+	title := "Table I reproduction: multiplier characteristics"
+	if *dist == "dnn" {
+		title += " (DNN-like operand distribution)"
+	}
+	t := report.NewTable(title, header...)
+
+	for _, e := range appmult.Registry() {
+		hw := e.Hardware(lib, opt)
+		var m errmetrics.Metrics
+		if *dist == "dnn" {
+			// Weight levels cluster around the zero point (mid range);
+			// post-ReLU activation levels decay from zero.
+			bits := e.Mult.Bits()
+			nv := float64(int(1) << uint(bits))
+			prob := errmetrics.OperandDistribution(bits,
+				errmetrics.GaussianLevels(bits, nv/2, nv/8),
+				errmetrics.ExponentialLevels(bits, 1-4/nv))
+			m = errmetrics.Weighted(bits, e.Mult.Mul, prob)
+		} else {
+			m = errmetrics.Exhaustive(e.Mult.Bits(), e.Mult.Mul)
+		}
+		hws := "N/A"
+		if e.HWS > 0 {
+			hws = fmt.Sprint(e.HWS)
+		}
+		row := []string{
+			e.Mult.Name(),
+			fmt.Sprintf("%.1f", hw.AreaUM2),
+			fmt.Sprintf("%.1f", hw.DelayPS),
+			fmt.Sprintf("%.2f", hw.PowerUW),
+			fmt.Sprintf("%.1f", m.ERPercent),
+			fmt.Sprintf("%.2f", m.NMEDPercent),
+			fmt.Sprint(m.MaxED),
+			hws,
+			hw.Source,
+		}
+		if *paper {
+			row = append(row, fmt.Sprintf("%.1f, %.1f, %.2f, %.1f, %.2f, %d",
+				e.Paper.AreaUM2, e.Paper.DelayPS, e.Paper.PowerUW,
+				e.Paper.ERPercent, e.Paper.NMEDPercent, e.Paper.MaxED))
+		}
+		t.AddRow(row...)
+	}
+	if *csv {
+		t.WriteCSV(os.Stdout)
+	} else {
+		t.WriteText(os.Stdout)
+	}
+}

@@ -1,0 +1,43 @@
+// Command amfit fits a masked approximate multiplier to a target error
+// profile (NMED / MaxED / optional ER) and prints the resulting
+// configuration and its exhaustively measured metrics.
+//
+// It is the tool used to generate the registry's stand-ins for the
+// EvoApproxLib circuits of Table I (see DESIGN.md):
+//
+//	amfit -bits 8 -nmed 0.44 -maxed 2709 -er 98.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/appmult/retrain/internal/appmult"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amfit: ")
+	var (
+		bits   = flag.Int("bits", 8, "operand width B")
+		nmed   = flag.Float64("nmed", 0, "target NMED in percent (required)")
+		maxed  = flag.Int64("maxed", 0, "target MaxED (required)")
+		er     = flag.Float64("er", 0, "target ER in percent (0 = don't care)")
+		name   = flag.String("name", "fitted", "name for the fitted multiplier")
+		nocomp = flag.Bool("nocomp", false, "forbid the compensation constant (mask-only fit)")
+	)
+	flag.Parse()
+	if *nmed <= 0 || *maxed <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, res := appmult.Fit(*name, *bits, appmult.FitTarget{
+		NMEDPercent: *nmed, MaxED: *maxed, ERPercent: *er, NoComp: *nocomp,
+	})
+	fmt.Printf("multiplier %s (B=%d)\n", m.Name(), m.Bits())
+	fmt.Printf("  config: trunc=%d extras=%v restores=%v comp=%d\n", res.TruncColumns, res.ExtraDeleted, res.Restored, res.Comp)
+	fmt.Printf("  target: NMED=%.2f%% MaxED=%d ER=%.1f%%\n", *nmed, *maxed, *er)
+	fmt.Printf("  fitted: %v (score %.4f)\n", res.Metrics, res.Score)
+}

@@ -1,0 +1,74 @@
+// Command gradviz reproduces the paper's Fig. 3: for a fixed weight
+// operand Wf it prints (a) the raw AppMult row AM(Wf, X), the smoothed
+// row S(Wf, X) (Eq. 4), and the accurate product; and (b) the
+// difference-based gradient (Eqs. 5-6) against the constant STE
+// gradient. The default arguments match the paper's illustration:
+// mul7u_rm6, Wf = 10, HWS = 4.
+//
+// Output is plot-ready aligned columns; pipe to a file and plot with
+// any tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/bitutil"
+	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gradviz: ")
+	var (
+		mult = flag.String("mult", "mul7u_rm6", "approximate multiplier name")
+		wf   = flag.Uint("wf", 10, "fixed weight operand Wf")
+		hws  = flag.Int("hws", 4, "half window size for smoothing")
+	)
+	flag.Parse()
+
+	e, ok := appmult.Lookup(*mult)
+	if !ok {
+		log.Fatalf("unknown multiplier %q", *mult)
+	}
+	bits := e.Mult.Bits()
+	n := bitutil.NumInputs(bits)
+	if *wf >= uint(n) {
+		log.Fatalf("Wf %d does not fit in %d bits", *wf, bits)
+	}
+	if *hws < 1 || *hws > gradient.MaxHWS(bits) {
+		log.Fatalf("HWS %d outside [1,%d]", *hws, gradient.MaxHWS(bits))
+	}
+
+	row := make([]uint32, n)
+	for x := range row {
+		row[x] = e.Mult.Mul(uint32(*wf), uint32(x))
+	}
+	smoothed, lo, hi := gradient.SmoothRow(row, *hws)
+	grad := gradient.DifferenceRow(row, *hws)
+
+	fa := report.NewSeries(
+		fmt.Sprintf("Fig. 3(a): %s, Wf=%d, HWS=%d — AppMult vs smoothed vs accurate", *mult, *wf, *hws),
+		"X", "AM(Wf,X)", "S(Wf,X)", "AccMult")
+	for x := 0; x < n; x++ {
+		s := smoothed[x]
+		if x < lo || x > hi {
+			s = -1 // outside the smoothing-valid range
+		}
+		fa.Add(float64(x), float64(row[x]), s, float64(uint32(*wf)*uint32(x)))
+	}
+	fa.WriteText(os.Stdout)
+	fmt.Println()
+
+	fb := report.NewSeries(
+		"Fig. 3(b): difference-based gradient vs STE gradient",
+		"X", "diff-grad", "STE-grad")
+	for x := 0; x < n; x++ {
+		fb.Add(float64(x), grad[x], float64(*wf))
+	}
+	fb.WriteText(os.Stdout)
+}

@@ -1,0 +1,118 @@
+// Command retrain reproduces the paper's Table II: AppMult-aware
+// retraining accuracy with the STE baseline versus the proposed
+// difference-based gradient, for VGG and ResNet models.
+//
+// One row:
+//
+//	retrain -mult mul7u_rm6 -model vgg19
+//
+// The full table (all 7- and 8-bit approximate multipliers, both
+// models — several CPU-hours at the default reduced scale):
+//
+//	retrain -all
+//
+// Scale flags trade fidelity for time; -scale paper selects the
+// published configuration (see DESIGN.md for what "reduced" changes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/report"
+	"github.com/appmult/retrain/internal/tech"
+	"github.com/appmult/retrain/internal/train"
+)
+
+// tableIIMults lists the approximate multipliers of Table II in paper
+// order (7- and 8-bit registry entries, accurate rows excluded).
+var tableIIMults = []string{
+	"mul8u_syn1", "mul8u_syn2", "mul8u_2NDH", "mul8u_17C8",
+	"mul8u_1DMU", "mul8u_17R6", "mul8u_rm8",
+	"mul7u_06Q", "mul7u_073", "mul7u_rm6", "mul7u_syn1",
+	"mul7u_syn2", "mul7u_081", "mul7u_08E",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("retrain: ")
+	var (
+		mult    = flag.String("mult", "mul7u_rm6", "approximate multiplier name (see amchar for the list)")
+		model   = flag.String("model", "vgg19", "model kind: lenet|vgg11|vgg16|vgg19|resnet18|resnet34|resnet50")
+		classes = flag.Int("classes", 10, "number of classes (10 = CIFAR-10 stand-in)")
+		scale   = flag.String("scale", "reduced", "experiment scale: paper|reduced|small|tiny")
+		all     = flag.Bool("all", false, "run the Table II sweep (see -mults/-models for subsets)")
+		mults   = flag.String("mults", "", "comma-separated multiplier subset for -all (default: all 7/8-bit AppMults)")
+		modelsF = flag.String("models", "vgg19,resnet18", "comma-separated model kinds for -all")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		verbose = flag.Bool("v", false, "log per-epoch progress")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	sc, err := train.ScaleByName(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+
+	var rows []train.CompareResult
+	if *all {
+		multList := tableIIMults
+		if *mults != "" {
+			multList = strings.Split(*mults, ",")
+		}
+		rows = train.TableII(multList, strings.Split(*modelsF, ","), *classes, sc, *seed, log.Printf)
+	} else {
+		rows = append(rows, train.CompareGradients(*mult, *model, *classes, sc, *seed, logf))
+	}
+
+	lib := tech.ASAP7()
+	popt := circuit.PowerOptions{Vectors: 2048, Seed: 1}
+	accPower := map[int]float64{}
+	for _, bits := range []int{6, 7, 8} {
+		e, _ := appmult.Lookup(fmt.Sprintf("mul%du_acc", bits))
+		accPower[bits] = e.Hardware(lib, popt).PowerUW
+	}
+	acc8, _ := appmult.Lookup("mul8u_acc")
+	norm := acc8.Hardware(lib, popt).PowerUW
+
+	t := report.NewTable(
+		fmt.Sprintf("Table II reproduction (scale=%s, classes=%d, seed=%d)", *scale, *classes, *seed),
+		"model", "multiplier", "initial%", "STE%", "ours%", "improve", "ref%", "norm.power", "runtime(ours/STE)",
+	)
+	for _, r := range rows {
+		e, _ := appmult.Lookup(r.Multiplier)
+		hw := e.Hardware(lib, popt)
+		ratio := 0.0
+		if r.STE.Seconds > 0 {
+			ratio = r.Ours.Seconds / r.STE.Seconds
+		}
+		t.AddRowf(r.Model, r.Multiplier, r.InitialTop1, r.STE.FinalTop1(), r.Ours.FinalTop1(),
+			r.Improve, r.RefTop1, fmt.Sprintf("%.2f", hw.PowerUW/norm), fmt.Sprintf("%.2f", ratio))
+	}
+	if len(rows) > 1 {
+		var mi, ms, mo, mr float64
+		for _, r := range rows {
+			mi += r.InitialTop1
+			ms += r.STE.FinalTop1()
+			mo += r.Ours.FinalTop1()
+			mr += r.Improve
+		}
+		n := float64(len(rows))
+		t.AddRowf("mean", strings.Repeat("-", 4), mi/n, ms/n, mo/n, mr/n, "", "")
+	}
+	if *csv {
+		t.WriteCSV(os.Stdout)
+	} else {
+		t.WriteText(os.Stdout)
+	}
+}

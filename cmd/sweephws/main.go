@@ -1,0 +1,74 @@
+// Command sweephws reproduces the paper's half-window-size selection
+// protocol (Section V-A, Table I last column): for each candidate HWS
+// it trains a small LeNet for a few epochs with the difference-based
+// gradient and reports the final training loss; the HWS minimizing the
+// loss is selected.
+//
+//	sweephws -mult mul7u_rm6
+//	sweephws -mult mul8u_2NDH -candidates 1,2,4,8,16,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/report"
+	"github.com/appmult/retrain/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweephws: ")
+	var (
+		mult  = flag.String("mult", "mul7u_rm6", "approximate multiplier name")
+		cand  = flag.String("candidates", "1,2,4,8,16,32,64", "comma-separated HWS candidates")
+		scale = flag.String("scale", "reduced", "experiment scale: paper|reduced|small|tiny")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	e, ok := appmult.Lookup(*mult)
+	if !ok {
+		log.Fatalf("unknown multiplier %q", *mult)
+	}
+	var candidates []int
+	for _, part := range strings.Split(*cand, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad candidate %q: %v", part, err)
+		}
+		candidates = append(candidates, v)
+	}
+	sc, err := train.ScaleByName(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *scale != "tiny" {
+		sc.Epochs = 5 // the paper trains 5 epochs per candidate
+	}
+
+	best, losses := train.SelectHWS(e.Mult, candidates, 10, sc, *seed, log.Printf)
+	t := report.NewTable(
+		fmt.Sprintf("HWS selection for %s (LeNet, %d epochs per candidate)", *mult, sc.Epochs),
+		"HWS", "final train loss", "selected")
+	keys := make([]int, 0, len(losses))
+	for k := range losses {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		sel := ""
+		if k == best {
+			sel = "<=="
+		}
+		t.AddRow(fmt.Sprint(k), fmt.Sprintf("%.4f", losses[k]), sel)
+	}
+	t.WriteText(os.Stdout)
+	fmt.Printf("\nselected HWS: %d (paper selected %d)\n", best, e.HWS)
+}

@@ -1,0 +1,86 @@
+// Custom AppMult: design your own approximate multiplier three ways —
+// a hand-written partial-product mask, an error-profile fit, and a
+// live approximate-logic-synthesis pass on a gate-level netlist — then
+// plug one into the retraining framework with a user-defined gradient.
+//
+// This exercises the extension points the paper's Section IV promises
+// ("our framework can also accommodate other user-defined gradients").
+//
+//	go run ./examples/custom_appmult
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/data"
+	"github.com/appmult/retrain/internal/errmetrics"
+	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/models"
+	"github.com/appmult/retrain/internal/mulsynth"
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/tech"
+	"github.com/appmult/retrain/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	lib := tech.ASAP7()
+
+	// --- Way 1: hand-crafted partial-product mask -------------------
+	// A 6-bit multiplier dropping the two cheapest columns plus one
+	// mid-significance cell, with a small compensation constant.
+	mask := mulsynth.TruncMask(6, 2).Delete(2, 1).Delete(1, 2)
+	handMade := appmult.NewMasked("mul6u_custom", mask, 3)
+	fmt.Printf("hand-made %s: %v\n", handMade.Name(), errmetrics.Exhaustive(6, handMade.Mul))
+	rep := handMade.Netlist().Analyze(lib, circuit.PowerOptions{Vectors: 1024, Seed: 1})
+	fmt.Printf("  synthesized: %d gates, %.1f um^2, %.1f ps, %.2f uW\n",
+		rep.Gates, rep.AreaUM2, rep.DelayPS, rep.PowerUW)
+
+	// --- Way 2: fit a multiplier to an error profile -----------------
+	// Ask for a 6-bit multiplier with NMED ~0.2% and MaxED ~40; the
+	// fitter searches masks + compensation (this is how the registry's
+	// EvoApproxLib stand-ins were generated).
+	fitted, res := appmult.Fit("mul6u_fit", 6, appmult.FitTarget{NMEDPercent: 0.2, MaxED: 40})
+	fmt.Printf("fitted %s: %v (trunc=%d extras=%d comp=%d)\n",
+		fitted.Name(), res.Metrics, res.TruncColumns, len(res.ExtraDeleted), res.Comp)
+
+	// --- Way 3: approximate logic synthesis ---------------------------
+	// Run the greedy ALS pass on an exact 5-bit array multiplier under
+	// an NMED budget, then lift the synthesized netlist back into a
+	// LUT-backed multiplier.
+	exact := mulsynth.BuildAccurate("mul5u_acc", 5)
+	synth, subs := mulsynth.ApproxSynth(exact, 5, lib, mulsynth.ALSOptions{
+		NMEDBudget: 0.5, SampleVectors: 512, Seed: 3, MaxSubs: 10,
+	})
+	alsMult := appmult.FromNetlist("mul5u_als", 5, synth)
+	fmt.Printf("ALS %s: %v after %d substitutions (area %.1f -> %.1f um^2)\n",
+		alsMult.Name(), errmetrics.Exhaustive(5, alsMult.Mul), len(subs),
+		exact.Area(lib), synth.Area(lib))
+
+	// --- Plug into retraining with a user-defined gradient ----------
+	// Blend STE with the difference-based gradient 50/50 — an estimator
+	// the paper's framework supports but does not evaluate.
+	diff := gradient.Difference(handMade.Name(), 6, 2, handMade.Mul)
+	blended := gradient.FromFunc("blend(ste,diff)", 6, func(w, x uint32) (float64, float64) {
+		dw, dx := diff.At(w, x)
+		return (float64(dw) + float64(x)) / 2, (float64(dx) + float64(w)) / 2
+	})
+	op := nn.NewOp(handMade, blended)
+
+	trainSet, testSet := data.Synthetic(data.SynthConfig{
+		Classes: 4, Train: 120, Test: 60, HW: 8, Seed: 5,
+	})
+	model := models.LeNet(models.Config{
+		Classes: 4, InputHW: 8, Width: 0.15,
+		Conv: models.ApproxConv(op), Seed: 5,
+	})
+	sc := train.Scale{Epochs: 5, BatchSize: 20, LR0: 6e-3}
+	out := train.Run(model, trainSet, testSet, train.Config{
+		Epochs: sc.Epochs, BatchSize: sc.BatchSize, Schedule: sc.Schedule(), Seed: 5,
+	})
+	fmt.Printf("\nretrained LeNet with %s: top-1 %.2f%% (loss %.3f)\n",
+		op.Label, out.FinalTop1(), out.FinalLoss())
+}

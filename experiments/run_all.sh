@@ -1,0 +1,42 @@
+#!/bin/sh
+# Regenerates every recorded artifact under experiments/.
+#
+# Runtime on one CPU core at the default "small" scale is roughly two
+# hours, dominated by the Table II sweeps (about two minutes per
+# multiplier/model/estimator row). The recorded artifacts in this
+# directory were produced by exactly these commands (split across
+# run_rest.sh/run_final.sh during the original session; the per-row
+# training logs are in run_*.log).
+set -e
+cd "$(dirname "$0")/.."
+go build -o bin/ ./cmd/...
+BIN=./bin
+
+# Table I + Fig. 3 + ablations + HWS selection (minutes).
+$BIN/amchar -paper > experiments/table1.txt
+$BIN/gradviz > experiments/fig3.txt
+$BIN/ablate -which smoothing -scale tiny -mult mul7u_rm6 > experiments/ablation_smoothing.txt
+$BIN/ablate -which boundary -scale tiny -mult mul7u_rm6 > experiments/ablation_boundary.txt
+$BIN/sweephws -mult mul6u_rm4 -scale tiny > experiments/hws_mul6u_rm4.txt
+
+# Table II, VGG19 half (14 rows; cut -mults for a subset).
+$BIN/retrain -all -models vgg19 -scale small > experiments/table2_vgg19_small.txt
+
+# Table II, ResNet18 half (subset used in the recorded run).
+$BIN/retrain -all -models resnet18 -scale small \
+  -mults mul8u_1DMU,mul8u_rm8,mul7u_06Q,mul7u_syn2 \
+  > experiments/table2_resnet18_small.txt
+
+# Seed-sensitivity replication of the large-error VGG19 rows.
+: > experiments/table2_vgg19_seeds.txt
+for seed in 1 2 3; do
+  for m in mul8u_rm8 mul7u_rm6 mul7u_syn2; do
+    $BIN/retrain -mult $m -model vgg19 -scale small -seed $seed \
+      | tail -n +4 >> experiments/table2_vgg19_seeds.txt
+  done
+done
+
+# Fig. 6 (ResNet34; add resnet50 to -models for the full figure).
+$BIN/curves -scale small -models resnet34 -hw 10 -width 0.12 \
+  -train 800 -test 300 -epochs 6 > experiments/fig6_small.txt
+echo DONE

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Final recorded sweep: the ResNet18 Table II half, Fig. 6 at small
+# scale, and a 3-seed replication of the key VGG19 rows (the paper's
+# largest-improvement multipliers) to quantify seed noise.
+set -e
+cd "$(dirname "$0")/.."
+go build -o bin/ ./cmd/...
+BIN=./bin
+$BIN/retrain -all -models resnet18 -scale small \
+  -mults mul8u_1DMU,mul8u_rm8,mul7u_06Q,mul7u_syn2 \
+  > experiments/table2_resnet18_small.txt
+for seed in 1 2 3; do
+  for m in mul8u_rm8 mul7u_rm6 mul7u_syn2; do
+    $BIN/retrain -mult $m -model vgg19 -scale small -seed $seed \
+      | tail -n +4 >> experiments/table2_vgg19_seeds.txt
+  done
+done
+$BIN/curves -scale small -models resnet34 -hw 10 -width 0.12 -train 800 -test 300 -epochs 6 \
+  > experiments/fig6_small.txt
+echo DONE

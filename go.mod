@@ -1,0 +1,3 @@
+module github.com/appmult/retrain
+
+go 1.22

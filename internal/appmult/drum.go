@@ -1,0 +1,66 @@
+package appmult
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+// DRUM is a dynamic-range, unbiased segmented multiplier in the style
+// of Hashemi et al. (ICCAD 2015): each operand is reduced to its k
+// leading bits starting at the leading one, with the bit below the
+// kept segment forced to 1 to de-bias truncation, and the two segments
+// are multiplied exactly and shifted back.
+//
+// It stands in for the EvoApproxLib multiplier mul8u_1DMU, whose error
+// profile (moderate error rate, large MaxED, above-accurate delay from
+// the leading-one-detector chain) matches a segmented architecture
+// rather than a partial-product mask (see DESIGN.md).
+type DRUM struct {
+	name string
+	bits int
+	k    int
+}
+
+// NewDRUM returns a B-bit DRUM multiplier with k-bit segments
+// (2 <= k <= B).
+func NewDRUM(bits, k int) *DRUM {
+	bitutil.CheckWidth(bits)
+	if k < 2 || k > bits {
+		panic(fmt.Sprintf("appmult: DRUM segment k=%d outside [2,%d]", k, bits))
+	}
+	return &DRUM{name: fmt.Sprintf("mul%du_drum%d", bits, k), bits: bits, k: k}
+}
+
+// WithName renames the multiplier (used by the registry to publish a
+// DRUM instance under its Table I stand-in name).
+func (d *DRUM) WithName(name string) *DRUM {
+	return &DRUM{name: name, bits: d.bits, k: d.k}
+}
+
+// Name implements Multiplier.
+func (d *DRUM) Name() string { return d.name }
+
+// Bits implements Multiplier.
+func (d *DRUM) Bits() int { return d.bits }
+
+// approxOperand reduces v to its unbiased k-bit leading segment.
+func (d *DRUM) approxOperand(v uint32) uint32 {
+	p := bitutil.LeadingOnePos(v)
+	if p < d.k {
+		return v // operand fits in the segment: exact
+	}
+	shift := uint(p - d.k + 1)
+	seg := v >> shift
+	// Force the lowest kept bit's lower neighbour to 1 (unbiasing):
+	// equivalent to setting the bit below the segment, i.e. the
+	// approximated operand is (seg<<1 | 1) << (shift-1).
+	return (seg<<1 | 1) << (shift - 1)
+}
+
+// Mul implements Multiplier.
+func (d *DRUM) Mul(w, x uint32) uint32 {
+	bitutil.CheckOperand(w, d.bits)
+	bitutil.CheckOperand(x, d.bits)
+	return d.approxOperand(w) * d.approxOperand(x)
+}

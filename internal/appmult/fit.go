@@ -1,0 +1,219 @@
+package appmult
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/appmult/retrain/internal/bitutil"
+	"github.com/appmult/retrain/internal/errmetrics"
+	"github.com/appmult/retrain/internal/mulsynth"
+)
+
+// FitTarget describes the error profile a fitted multiplier should
+// match: the paper's Table I metrics for one circuit.
+type FitTarget struct {
+	// NMEDPercent is the target normalized mean error distance, in
+	// percent of 2^(2B)-1. Required (> 0).
+	NMEDPercent float64
+	// MaxED is the target maximum error distance. Required (> 0).
+	MaxED int64
+	// ERPercent is the target error rate in percent; 0 means "don't
+	// care". ER is weighted lightly: within the mask+compensation
+	// family it is largely determined by the other two targets.
+	ERPercent float64
+	// NoComp forbids the additive compensation constant. Constant
+	// compensation matches global (uniform-input) NMED/MaxED targets
+	// better, but it injects a fixed offset into products whose
+	// removed partial products are all zero — exactly the small-
+	// activation region DNN data concentrates in — which wrecks
+	// retraining. Registry stand-ins therefore fit with NoComp set;
+	// see DESIGN.md.
+	NoComp bool
+}
+
+// FitResult reports the configuration Fit selected.
+type FitResult struct {
+	// TruncColumns is the base truncation depth k (rightmost k columns
+	// removed).
+	TruncColumns int
+	// ExtraDeleted lists additionally removed partial products as
+	// (i, j) pairs beyond the base truncation.
+	ExtraDeleted [][2]int
+	// Restored lists partial products inside the truncated region that
+	// are kept after all ("restores" refine the removed weight in
+	// half-column steps, which the NoComp family needs to hit
+	// intermediate NMED targets).
+	Restored [][2]int
+	// Comp is the additive compensation constant.
+	Comp uint32
+	// Metrics holds the exhaustively measured error metrics of the
+	// fitted multiplier.
+	Metrics errmetrics.Metrics
+	// Score is the final objective value (lower is better; 0 = exact
+	// match on all requested targets).
+	Score float64
+}
+
+// Fit searches the masked-multiplier family (truncation depth + extra
+// partial-product deletions + compensation constant) for the member
+// whose exhaustive error metrics best match target, and returns it
+// named name. The search is deterministic.
+//
+// This is the package's substitute for picking circuits out of
+// EvoApproxLib: instead of a library of evolved netlists, the caller
+// names an error profile and receives a structurally realizable
+// multiplier with that profile (see DESIGN.md).
+func Fit(name string, bits int, target FitTarget) (*Masked, FitResult) {
+	bitutil.CheckWidth(bits)
+	if bits > 8 {
+		panic("appmult: Fit supports bits <= 8 (exhaustive inner loop)")
+	}
+	if target.NMEDPercent <= 0 || target.MaxED <= 0 {
+		panic("appmult: FitTarget requires positive NMEDPercent and MaxED")
+	}
+	norm := float64(int64(1)<<uint(2*bits) - 1)
+	targetMean := target.NMEDPercent / 100 * norm
+
+	best := FitResult{Score: math.Inf(1)}
+	var bestMask mulsynth.PPMask
+
+	// Candidate masks: truncate k columns, delete 0..n extra cells
+	// from column k, and optionally restore 0..p cells of column k-1
+	// (all in deterministic low-i-first order). Restores give the
+	// NoComp family half-column granularity in removed weight.
+	for k := 0; k <= 2*bits-2; k++ {
+		base := mulsynth.TruncMask(bits, k)
+		cells := columnCells(bits, k)
+		lower := columnCells(bits, k-1)
+		for extra := 0; extra <= len(cells); extra++ {
+			for restore := 0; restore <= len(lower); restore++ {
+				mask := base.Clone()
+				for e := 0; e < extra; e++ {
+					mask.Delete(cells[e][0], cells[e][1])
+				}
+				for r := 0; r < restore; r++ {
+					mask.Keep[lower[r][0]][lower[r][1]] = true
+				}
+				rw := mask.RemovedWeight()
+				if rw == 0 {
+					continue
+				}
+				// Quick reject: even with the best compensation, MaxED
+				// is at least rw/2; with comp=0 it is exactly rw.
+				if rw/2 > 4*target.MaxED {
+					break
+				}
+				hist := removedHistogram(bits, mask)
+				comps := compCandidates(rw, target.MaxED)
+				if target.NoComp {
+					comps = []int64{0}
+				}
+				for _, comp := range comps {
+					mean, maxED, er := statsWithComp(hist, comp)
+					score := 2 * math.Abs(mean-targetMean) / targetMean
+					score += math.Abs(float64(maxED)-float64(target.MaxED)) / float64(target.MaxED)
+					if target.ERPercent > 0 {
+						score += 0.2 * math.Abs(er-target.ERPercent) / target.ERPercent
+					}
+					if score < best.Score {
+						best = FitResult{
+							TruncColumns: k,
+							ExtraDeleted: append([][2]int(nil), cells[:extra]...),
+							Restored:     append([][2]int(nil), lower[:restore]...),
+							Comp:         uint32(comp),
+							Score:        score,
+						}
+						bestMask = mask.Clone()
+					}
+				}
+			}
+		}
+	}
+	if math.IsInf(best.Score, 1) {
+		panic(fmt.Sprintf("appmult: Fit found no candidate for %+v", target))
+	}
+	m := NewMasked(name, bestMask, best.Comp)
+	best.Metrics = errmetrics.Exhaustive(bits, m.Mul)
+	return m, best
+}
+
+// columnCells lists the partial-product cells (i, j) with i+j == c,
+// sorted by i. An out-of-range column yields nil.
+func columnCells(bits, c int) [][2]int {
+	var cells [][2]int
+	for i := 0; i < bits; i++ {
+		j := c - i
+		if j >= 0 && j < bits {
+			cells = append(cells, [2]int{i, j})
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a][0] < cells[b][0] })
+	return cells
+}
+
+// removedHistogram returns the distribution of removed-weight values
+// over all operand pairs: pairs of (value, count), sorted by value.
+func removedHistogram(bits int, mask mulsynth.PPMask) [][2]int64 {
+	nv := uint32(bitutil.NumInputs(bits))
+	counts := make(map[int64]int64)
+	for w := uint32(0); w < nv; w++ {
+		for x := uint32(0); x < nv; x++ {
+			removed := int64(w)*int64(x) - int64(mask.Mul(w, x, 0))
+			counts[removed]++
+		}
+	}
+	hist := make([][2]int64, 0, len(counts))
+	for v, c := range counts {
+		hist = append(hist, [2]int64{v, c})
+	}
+	sort.Slice(hist, func(a, b int) bool { return hist[a][0] < hist[b][0] })
+	return hist
+}
+
+// statsWithComp computes (meanED, maxED, ER%) for error = removed-comp
+// from a removed-value histogram.
+func statsWithComp(hist [][2]int64, comp int64) (mean float64, maxED int64, erPercent float64) {
+	var total, wrong int64
+	var sum float64
+	for _, h := range hist {
+		e := bitutil.AbsDiff(h[0], comp)
+		sum += float64(e) * float64(h[1])
+		total += h[1]
+		if e != 0 {
+			wrong += h[1]
+		}
+		if e > maxED {
+			maxED = e
+		}
+	}
+	return sum / float64(total), maxED, float64(wrong) / float64(total) * 100
+}
+
+// compCandidates enumerates compensation constants worth trying for a
+// mask with removed weight rw: zero, the exact value that pins MaxED to
+// the target (if feasible), and a coarse scan of the unbiased region.
+func compCandidates(rw, targetMax int64) []int64 {
+	set := map[int64]bool{0: true}
+	if c := rw - targetMax; c > 0 && c < rw {
+		set[c] = true
+		set[c-1] = true
+		set[c+1] = true
+	}
+	// Scan around the mean removed value (rw/4) and below.
+	step := rw / 64
+	if step < 1 {
+		step = 1
+	}
+	for c := int64(0); c <= rw/2; c += step {
+		set[c] = true
+	}
+	out := make([]int64, 0, len(set))
+	for c := range set {
+		if c >= 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

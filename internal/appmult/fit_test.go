@@ -1,0 +1,75 @@
+package appmult
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitHitsNMEDTarget(t *testing.T) {
+	// A 6-bit profile comfortably inside the masked family's reach.
+	m, res := Fit("fit6", 6, FitTarget{NMEDPercent: 0.30, MaxED: 49})
+	if m.Bits() != 6 || m.Name() != "fit6" {
+		t.Fatalf("identity: %s/%d", m.Name(), m.Bits())
+	}
+	if d := math.Abs(res.Metrics.NMEDPercent - 0.30); d > 0.05 {
+		t.Errorf("NMED %.3f%%, want ~0.30%%", res.Metrics.NMEDPercent)
+	}
+	if res.Metrics.MaxED < 25 || res.Metrics.MaxED > 100 {
+		t.Errorf("MaxED %d far from target 49", res.Metrics.MaxED)
+	}
+	// The exact rm4 profile should be discoverable: trunc=4, no comp.
+	if res.TruncColumns != 4 || res.Comp != 0 || len(res.ExtraDeleted) != 0 {
+		t.Logf("note: fit found trunc=%d extras=%d comp=%d (rm4 profile also matches)",
+			res.TruncColumns, len(res.ExtraDeleted), res.Comp)
+	}
+}
+
+func TestFitUsesCompensationForHighRatioTargets(t *testing.T) {
+	// MaxED/meanED ratio > 4 is unreachable without compensation in
+	// this family (truncation alone always has ratio exactly 4), so a
+	// high-ratio target must produce comp > 0.
+	_, res := Fit("fit7", 7, FitTarget{NMEDPercent: 0.28, MaxED: 457})
+	if res.Comp == 0 {
+		t.Errorf("high-ratio target fitted without compensation: %+v", res)
+	}
+	if d := math.Abs(res.Metrics.NMEDPercent - 0.28); d > 0.06 {
+		t.Errorf("NMED %.3f%%, want ~0.28%%", res.Metrics.NMEDPercent)
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	_, r1 := Fit("a", 6, FitTarget{NMEDPercent: 0.2, MaxED: 60})
+	_, r2 := Fit("b", 6, FitTarget{NMEDPercent: 0.2, MaxED: 60})
+	if r1.TruncColumns != r2.TruncColumns || r1.Comp != r2.Comp || len(r1.ExtraDeleted) != len(r2.ExtraDeleted) {
+		t.Errorf("fit not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestFitResultIsConsistent(t *testing.T) {
+	// Rebuilding the multiplier from the reported configuration must
+	// reproduce the reported metrics.
+	m, res := Fit("c", 6, FitTarget{NMEDPercent: 0.25, MaxED: 80, ERPercent: 90})
+	rebuilt := masked("c2", 6, res.TruncColumns, res.ExtraDeleted, res.Restored, res.Comp)
+	for w := uint32(0); w < 64; w++ {
+		for x := uint32(0); x < 64; x++ {
+			if m.Mul(w, x) != rebuilt.Mul(w, x) {
+				t.Fatalf("reported config diverges from fitted multiplier at (%d,%d)", w, x)
+			}
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero NMED", func() { Fit("x", 6, FitTarget{MaxED: 10}) })
+	mustPanic("zero MaxED", func() { Fit("x", 6, FitTarget{NMEDPercent: 0.3}) })
+	mustPanic("too wide", func() { Fit("x", 9, FitTarget{NMEDPercent: 0.3, MaxED: 10}) })
+}

@@ -1,0 +1,103 @@
+package appmult
+
+import (
+	"math"
+
+	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/tech"
+)
+
+// Hardware summarizes a multiplier's physical cost. It is the
+// library's equivalent of one row of the paper's Table I left half.
+type Hardware struct {
+	// AreaUM2, DelayPS, PowerUW are the area, critical-path delay, and
+	// average dynamic power (at the analysis clock, default 1 GHz).
+	AreaUM2 float64
+	DelayPS float64
+	PowerUW float64
+	// Gates is the synthesized cell count (0 for modeled hardware).
+	Gates int
+	// Source records how the figures were obtained: "netlist" for
+	// synthesized-and-analyzed multipliers, "modeled" for analytical
+	// estimates, "reference" for paper-anchored values.
+	Source string
+}
+
+// Modeled is implemented by multipliers that cannot be synthesized by
+// this library but can estimate their own hardware cost.
+type Modeled interface {
+	Multiplier
+	// ModeledHardware returns an analytical cost estimate against the
+	// given library.
+	ModeledHardware(lib *tech.Library) Hardware
+}
+
+// Characterize produces Hardware figures for any multiplier: netlist
+// analysis when the multiplier is Synthesizable, the multiplier's own
+// model when it is Modeled, and an all-zero "unknown" record otherwise.
+func Characterize(m Multiplier, lib *tech.Library, opt circuit.PowerOptions) Hardware {
+	switch t := m.(type) {
+	case Synthesizable:
+		rep := t.Netlist().Analyze(lib, opt)
+		return Hardware{
+			AreaUM2: rep.AreaUM2,
+			DelayPS: rep.DelayPS,
+			PowerUW: rep.PowerUW,
+			Gates:   rep.Gates,
+			Source:  "netlist",
+		}
+	case Modeled:
+		return t.ModeledHardware(lib)
+	default:
+		return Hardware{Source: "unknown"}
+	}
+}
+
+// ModeledHardware implements Modeled for DRUM with a component-count
+// model: two leading-one detectors, two segment-selection mux trees, a
+// k-bit accurate multiplier core (synthesized for real), and a barrel
+// shifter for the result. The model is calibrated to the library's
+// accurate-multiplier power density. Note that at small widths (B=8)
+// the mux/shifter overhead makes DRUM barely cheaper than an accurate
+// multiplier, which is why the registry overrides the mul8u_1DMU row
+// with paper-anchored figures (see registry.go).
+func (d *DRUM) ModeledHardware(lib *tech.Library) Hardware {
+	b, k := d.bits, d.k
+	and2 := lib.Cell(tech.CellAnd2)
+	or2 := lib.Cell(tech.CellOr2)
+	not1 := lib.Cell(tech.CellNot)
+
+	// A 2:1 mux is AND+AND+OR plus a shared select inverter.
+	muxArea := 2*and2.AreaUM2 + or2.AreaUM2 + not1.AreaUM2/4
+	muxDelay := and2.DelayPS + or2.DelayPS
+
+	// Leading-one detector per operand: a priority chain of B-1
+	// AND/NOT pairs.
+	lodArea := float64(b-1) * (and2.AreaUM2 + not1.AreaUM2) * 2
+	lodDelay := float64(b-1) * and2.DelayPS
+
+	// Segment selection: k bits chosen among b-k+1 alignments, per
+	// operand.
+	segMuxes := float64(k*(b-k+1)) * 2
+	segArea := segMuxes * muxArea
+
+	// Core: exact k x k multiplier, synthesized.
+	core := NewAccurate(k).Netlist()
+	coreRep := core.Analyze(lib, circuit.PowerOptions{Vectors: 1024, Seed: 1})
+
+	// Barrel shifter: 2k product bits shifted across b-k+1 positions.
+	stages := int(math.Ceil(math.Log2(float64(b - k + 2))))
+	shiftMuxes := float64(2 * b * stages)
+	shiftArea := shiftMuxes * muxArea
+
+	area := lodArea + segArea + coreRep.AreaUM2 + shiftArea
+	delay := lodDelay + muxDelay + coreRep.DelayPS + float64(stages)*muxDelay
+
+	// Power: scale the core's measured power density to the whole
+	// block; segmentation keeps the core fully active and the shifter
+	// toggling, so no activity discount is applied.
+	density := coreRep.PowerUW / coreRep.AreaUM2
+	power := density * area
+
+	return Hardware{AreaUM2: area, DelayPS: delay, PowerUW: power, Source: "modeled"}
+}

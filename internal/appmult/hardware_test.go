@@ -1,0 +1,109 @@
+package appmult
+
+import (
+	"testing"
+
+	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/tech"
+)
+
+func TestCharacterizeNetlistBacked(t *testing.T) {
+	lib := tech.ASAP7()
+	opt := circuit.PowerOptions{Vectors: 1024, Seed: 1}
+	acc := Characterize(NewAccurate(8), lib, opt)
+	if acc.Source != "netlist" {
+		t.Fatalf("accurate multiplier source = %q", acc.Source)
+	}
+	// Calibration anchor: the accurate 8-bit multiplier should land
+	// near the paper's Design Compiler reference (25.6 um^2, 730 ps,
+	// 22.9 uW) within 20%.
+	within := func(got, want, tol float64) bool {
+		d := got/want - 1
+		return d < tol && d > -tol
+	}
+	if !within(acc.AreaUM2, 25.6, 0.2) {
+		t.Errorf("acc8 area %.1f um^2, want ~25.6", acc.AreaUM2)
+	}
+	if !within(acc.DelayPS, 730.1, 0.2) {
+		t.Errorf("acc8 delay %.1f ps, want ~730", acc.DelayPS)
+	}
+	if !within(acc.PowerUW, 22.93, 0.2) {
+		t.Errorf("acc8 power %.2f uW, want ~22.9", acc.PowerUW)
+	}
+
+	rm8 := Characterize(NewTruncated(8, 8), lib, opt)
+	if !(rm8.AreaUM2 < acc.AreaUM2 && rm8.PowerUW < acc.PowerUW && rm8.DelayPS <= acc.DelayPS) {
+		t.Errorf("rm8 not cheaper than accurate: %+v vs %+v", rm8, acc)
+	}
+}
+
+func TestCharacterizeModeled(t *testing.T) {
+	lib := tech.ASAP7()
+	h := Characterize(NewDRUM(8, 4), lib, circuit.PowerOptions{})
+	if h.Source != "modeled" {
+		t.Fatalf("DRUM source = %q", h.Source)
+	}
+	if h.AreaUM2 <= 0 || h.DelayPS <= 0 || h.PowerUW <= 0 {
+		t.Errorf("non-positive modeled hardware: %+v", h)
+	}
+}
+
+type opaqueMult struct{}
+
+func (opaqueMult) Name() string           { return "opaque" }
+func (opaqueMult) Bits() int              { return 4 }
+func (opaqueMult) Mul(w, x uint32) uint32 { return w * x }
+
+func TestCharacterizeUnknown(t *testing.T) {
+	h := Characterize(opaqueMult{}, tech.ASAP7(), circuit.PowerOptions{})
+	if h.Source != "unknown" || h.AreaUM2 != 0 {
+		t.Errorf("opaque multiplier characterized: %+v", h)
+	}
+}
+
+func TestRegistryHardwareOverride(t *testing.T) {
+	e, ok := Lookup("mul8u_1DMU")
+	if !ok {
+		t.Fatal("mul8u_1DMU missing")
+	}
+	h := e.Hardware(tech.ASAP7(), circuit.PowerOptions{Vectors: 64})
+	if h.Source != "reference" {
+		t.Errorf("1DMU hardware source = %q, want reference", h.Source)
+	}
+	// The override should preserve the paper's key qualitative fact:
+	// 1DMU is slower than the accurate 8-bit multiplier but burns
+	// about half the power.
+	acc, _ := Lookup("mul8u_acc")
+	ha := acc.Hardware(tech.ASAP7(), circuit.PowerOptions{Vectors: 1024, Seed: 1})
+	if !(h.DelayPS > ha.DelayPS) {
+		t.Errorf("1DMU delay %.1f not above accurate %.1f", h.DelayPS, ha.DelayPS)
+	}
+	if !(h.PowerUW < 0.6*ha.PowerUW) {
+		t.Errorf("1DMU power %.2f not well below accurate %.2f", h.PowerUW, ha.PowerUW)
+	}
+}
+
+func TestRegistryPowerOrderingMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes the full registry")
+	}
+	lib := tech.ASAP7()
+	opt := circuit.PowerOptions{Vectors: 1024, Seed: 1}
+	// Every approximate multiplier must cost less power than its
+	// accurate counterpart — the premise of the whole design flow.
+	accPower := map[int]float64{}
+	for _, bits := range []int{6, 7, 8} {
+		e, _ := Lookup(NewAccurate(bits).Name())
+		accPower[bits] = e.Hardware(lib, opt).PowerUW
+	}
+	for _, e := range Registry() {
+		if e.Paper.NMEDPercent == 0 {
+			continue // accurate rows
+		}
+		h := e.Hardware(lib, opt)
+		if h.PowerUW >= accPower[e.Mult.Bits()] {
+			t.Errorf("%s power %.2f uW not below %d-bit accurate %.2f uW",
+				e.Mult.Name(), h.PowerUW, e.Mult.Bits(), accPower[e.Mult.Bits()])
+		}
+	}
+}

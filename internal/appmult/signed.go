@@ -1,0 +1,77 @@
+package appmult
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+// Signed adapts an unsigned AppMult core into a signed multiplier via
+// sign-magnitude decomposition:
+//
+//	SM(w, x) = sign(w) * sign(x) * AM(|w|, |x|).
+//
+// Operands are B-bit two's-complement integers in
+// [-(2^(B-1)-1), 2^(B-1)-1]; their magnitudes fit comfortably in the
+// B-bit unsigned core. The paper states its method "can be easily
+// extended to signed AppMults" (Section III); this wrapper is that
+// extension: the same smoothing/difference machinery applies to the
+// magnitude core, and the sign rule carries the gradient sign.
+type Signed struct {
+	core Multiplier
+	name string
+}
+
+// NewSigned wraps an unsigned multiplier core.
+func NewSigned(core Multiplier) *Signed {
+	return &Signed{core: core, name: core.Name() + "_signed"}
+}
+
+// Name returns the derived registry name.
+func (s *Signed) Name() string { return s.name }
+
+// Bits returns the operand width of the two's-complement operands.
+func (s *Signed) Bits() int { return s.core.Bits() }
+
+// Core returns the wrapped unsigned multiplier.
+func (s *Signed) Core() Multiplier { return s.core }
+
+func (s *Signed) checkOperand(v int32) {
+	limit := int32(bitutil.Mask(s.core.Bits() - 1))
+	if v > limit || v < -limit {
+		panic(fmt.Sprintf("appmult: signed operand %d outside [-%d,%d] for %d-bit core",
+			v, limit, limit, s.core.Bits()))
+	}
+}
+
+// MulSigned returns the signed approximate product.
+func (s *Signed) MulSigned(w, x int32) int64 {
+	s.checkOperand(w)
+	s.checkOperand(x)
+	sign := int64(1)
+	if w < 0 {
+		w, sign = -w, -sign
+	}
+	if x < 0 {
+		x, sign = -x, -sign
+	}
+	return sign * int64(s.core.Mul(uint32(w), uint32(x)))
+}
+
+// GradSigned returns the signed gradient pair (d/dw, d/dx) given the
+// unsigned core gradients at (|w|, |x|):
+//
+//	d SM / d w = sign(x) * dAM/d|w|,  d SM / d x = sign(w) * dAM/d|x|.
+//
+// The chain rule contributes sign(w) from d|w|/dw and the output sign
+// sign(w)sign(x); their product leaves sign(x) on the w-gradient.
+func (s *Signed) GradSigned(w, x int32, coreDW, coreDX float64) (dw, dx float64) {
+	sw, sx := 1.0, 1.0
+	if w < 0 {
+		sw = -1
+	}
+	if x < 0 {
+		sx = -1
+	}
+	return sx * coreDW, sw * coreDX
+}

@@ -1,0 +1,90 @@
+package appmult
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignedAccurateIsExact(t *testing.T) {
+	s := NewSigned(NewAccurate(8))
+	if s.Name() != "mul8u_acc_signed" || s.Bits() != 8 {
+		t.Fatalf("identity: %s/%d", s.Name(), s.Bits())
+	}
+	f := func(a, b int8) bool {
+		w, x := int32(a), int32(b)
+		if w == -128 {
+			w = -127
+		}
+		if x == -128 {
+			x = -127
+		}
+		return s.MulSigned(w, x) == int64(w)*int64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedSignRule(t *testing.T) {
+	s := NewSigned(NewTruncated(7, 6))
+	for _, w := range []int32{-50, -3, 0, 7, 63} {
+		for _, x := range []int32{-63, -1, 0, 12, 50} {
+			got := s.MulSigned(w, x)
+			mag := int64(s.Core().Mul(uint32(abs32(w)), uint32(abs32(x))))
+			want := mag
+			if (w < 0) != (x < 0) {
+				want = -mag
+			}
+			if got != want {
+				t.Fatalf("MulSigned(%d,%d) = %d, want %d", w, x, got, want)
+			}
+		}
+	}
+}
+
+func TestSignedSymmetryProperty(t *testing.T) {
+	// SM(-w, x) == SM(w, -x) == -SM(w, x).
+	s := NewSigned(NewTruncated(6, 4))
+	f := func(a, b int8) bool {
+		w := int32(a % 32)
+		x := int32(b % 32)
+		base := s.MulSigned(w, x)
+		return s.MulSigned(-w, x) == -base && s.MulSigned(w, -x) == -base && s.MulSigned(-w, -x) == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedOperandRange(t *testing.T) {
+	s := NewSigned(NewAccurate(6))
+	s.MulSigned(31, -31) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Error("operand 32 accepted for a 6-bit signed wrapper")
+		}
+	}()
+	s.MulSigned(32, 0)
+}
+
+func TestSignedGradient(t *testing.T) {
+	s := NewSigned(NewAccurate(6))
+	// For the accurate core at (|w|,|x|), dAM/d|w| = |x|, dAM/d|x| = |w|.
+	// The signed gradient must recover d(wx)/dw = x and d(wx)/dx = w.
+	cases := []struct{ w, x int32 }{{3, 5}, {-3, 5}, {3, -5}, {-3, -5}}
+	for _, c := range cases {
+		coreDW := float64(abs32(c.x))
+		coreDX := float64(abs32(c.w))
+		dw, dx := s.GradSigned(c.w, c.x, coreDW, coreDX)
+		if dw != float64(c.x) || dx != float64(c.w) {
+			t.Errorf("GradSigned(%d,%d) = (%v,%v), want (%d,%d)", c.w, c.x, dw, dx, c.x, c.w)
+		}
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,146 @@
+package circuit
+
+import (
+	"math/rand"
+
+	"github.com/appmult/retrain/internal/tech"
+)
+
+// Report summarizes the physical characteristics of a netlist against a
+// technology library. It is the package's stand-in for a Design
+// Compiler area/timing/power report.
+type Report struct {
+	// Gates is the number of silicon cells (inputs and constants
+	// excluded).
+	Gates int
+	// AreaUM2 is the summed cell area in square micrometres.
+	AreaUM2 float64
+	// DelayPS is the static critical-path delay in picoseconds
+	// (longest input-to-output topological path of cell delays).
+	DelayPS float64
+	// PowerUW is the average dynamic power in microwatts at the clock
+	// frequency passed to Analyze, estimated from Monte-Carlo toggle
+	// counting under uniform random inputs.
+	PowerUW float64
+	// TogglesPerCycle is the mean number of gate output transitions
+	// per input vector, a library-independent activity figure.
+	TogglesPerCycle float64
+}
+
+// Area returns the summed cell area of live gates in square
+// micrometres. Dead gates still count: like a synthesized block, silicon
+// is occupied until the netlist is pruned.
+func (n *Netlist) Area(lib *tech.Library) float64 {
+	var a float64
+	for _, g := range n.gates {
+		a += lib.Cell(g.kind).AreaUM2
+	}
+	return a
+}
+
+// CriticalPathPS returns the static worst-case delay from any primary
+// input to any primary output, summing per-cell intrinsic delays along
+// the longest topological path.
+func (n *Netlist) CriticalPathPS(lib *tech.Library) float64 {
+	arrival := make([]float64, len(n.gates))
+	for v := range n.gates {
+		g := &n.gates[v]
+		var worst float64
+		for _, in := range g.in[:g.nin] {
+			if arrival[in] > worst {
+				worst = arrival[in]
+			}
+		}
+		arrival[v] = worst + lib.Cell(g.kind).DelayPS
+	}
+	var crit float64
+	for _, o := range n.outputs {
+		if arrival[o] > crit {
+			crit = arrival[o]
+		}
+	}
+	return crit
+}
+
+// PowerOptions configures Monte-Carlo power estimation.
+type PowerOptions struct {
+	// Vectors is the number of random input vectors simulated
+	// (consecutive pairs produce toggle counts). Default 2048.
+	Vectors int
+	// ClockGHz is the clock frequency for energy-to-power conversion.
+	// Default 1.0, matching the paper's 1 GHz measurement point.
+	ClockGHz float64
+	// Seed makes the estimate deterministic. Default 1.
+	Seed int64
+}
+
+func (o *PowerOptions) defaults() {
+	if o.Vectors <= 0 {
+		o.Vectors = 2048
+	}
+	if o.ClockGHz <= 0 {
+		o.ClockGHz = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// EstimatePower runs Monte-Carlo toggle counting under uniform random
+// primary inputs and returns (average power in uW, mean toggles per
+// cycle). Each gate output transition dissipates its cell's switching
+// energy; input and constant nodes are free.
+func (n *Netlist) EstimatePower(lib *tech.Library, opt PowerOptions) (powerUW, togglesPerCycle float64) {
+	opt.defaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cur := make([]uint8, len(n.gates))
+	prev := make([]uint8, len(n.gates))
+	inbits := make([]uint8, len(n.inputs))
+
+	randomize := func() {
+		for i := range inbits {
+			inbits[i] = uint8(rng.Intn(2))
+		}
+	}
+	randomize()
+	n.evaluateInto(prev, inbits)
+
+	var energyFJ float64
+	var toggles int64
+	for v := 0; v < opt.Vectors; v++ {
+		randomize()
+		n.evaluateInto(cur, inbits)
+		for g := range n.gates {
+			if cur[g] != prev[g] {
+				k := n.gates[g].kind
+				if k != tech.CellInput && k != tech.CellConst {
+					energyFJ += lib.Cell(k).EnergyFJ
+					toggles++
+				}
+			}
+		}
+		cur, prev = prev, cur
+	}
+	meanEnergy := energyFJ / float64(opt.Vectors)
+	return tech.PowerUW(meanEnergy, opt.ClockGHz), float64(toggles) / float64(opt.Vectors)
+}
+
+// Analyze produces a full Report for the netlist: cell count, area,
+// critical path, and Monte-Carlo power at the configured clock.
+func (n *Netlist) Analyze(lib *tech.Library, opt PowerOptions) Report {
+	opt.defaults()
+	var cells int
+	for _, g := range n.gates {
+		if g.kind != tech.CellInput && g.kind != tech.CellConst {
+			cells++
+		}
+	}
+	p, tpc := n.EstimatePower(lib, opt)
+	return Report{
+		Gates:           cells,
+		AreaUM2:         n.Area(lib),
+		DelayPS:         n.CriticalPathPS(lib),
+		PowerUW:         p,
+		TogglesPerCycle: tpc,
+	}
+}

@@ -1,0 +1,116 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/appmult/retrain/internal/tech"
+)
+
+// WriteVerilog emits the netlist as a synthesizable structural Verilog
+// module using primitive gate instantiations, so multipliers designed
+// or approximated here can be handed to a real EDA flow (the reverse
+// direction of this library's Design Compiler substitution).
+//
+// Net naming: primary inputs keep their declared names (sanitized),
+// all other nodes become n<id>; outputs are wired to y<index>.
+func (n *Netlist) WriteVerilog(w io.Writer, moduleName string) error {
+	names := make([]string, n.NumGates())
+	seen := map[string]bool{}
+	for i, in := range n.inputs {
+		name := sanitizeIdent(n.gates[in].name)
+		if name == "" || seen[name] {
+			name = fmt.Sprintf("in%d", i)
+		}
+		seen[name] = true
+		names[in] = name
+	}
+	for v := range n.gates {
+		if names[v] == "" {
+			names[v] = fmt.Sprintf("n%d", v)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s(\n", sanitizeIdent(moduleName))
+	for _, in := range n.inputs {
+		fmt.Fprintf(&b, "  input  %s,\n", names[in])
+	}
+	for i := range n.outputs {
+		sep := ","
+		if i == len(n.outputs)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "  output y%d%s\n", i, sep)
+	}
+	fmt.Fprintf(&b, ");\n")
+
+	for v := range n.gates {
+		g := &n.gates[v]
+		switch g.kind {
+		case tech.CellInput:
+			continue
+		case tech.CellConst:
+			fmt.Fprintf(&b, "  wire %s = 1'b%d;\n", names[v], g.constVal)
+			continue
+		}
+		prim, ok := verilogPrim[g.kind]
+		if !ok {
+			return fmt.Errorf("circuit: no Verilog primitive for %v", g.kind)
+		}
+		ins := make([]string, g.nin)
+		for i := 0; i < g.nin; i++ {
+			ins[i] = names[g.in[i]]
+		}
+		fmt.Fprintf(&b, "  wire %s;\n", names[v])
+		if g.kind == tech.CellMaj3 {
+			// No majority primitive in Verilog: sum-of-products form.
+			fmt.Fprintf(&b, "  assign %s = (%s & %s) | (%s & %s) | (%s & %s);\n",
+				names[v], ins[0], ins[1], ins[0], ins[2], ins[1], ins[2])
+			continue
+		}
+		fmt.Fprintf(&b, "  %s(%s, %s);\n", prim, names[v], strings.Join(ins, ", "))
+	}
+	for i, o := range n.outputs {
+		fmt.Fprintf(&b, "  assign y%d = %s;\n", i, names[o])
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+var verilogPrim = map[tech.CellKind]string{
+	tech.CellBuf:   "buf",
+	tech.CellNot:   "not",
+	tech.CellAnd2:  "and",
+	tech.CellOr2:   "or",
+	tech.CellNand2: "nand",
+	tech.CellNor2:  "nor",
+	tech.CellXor2:  "xor",
+	tech.CellXnor2: "xnor",
+	tech.CellAnd3:  "and",
+	tech.CellOr3:   "or",
+	tech.CellMaj3:  "", // handled structurally
+}
+
+// sanitizeIdent maps an arbitrary string to a legal Verilog identifier.
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		return "m"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		return "m" + out
+	}
+	return out
+}

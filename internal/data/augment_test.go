@@ -1,0 +1,92 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSameClassSamplesDiffer: augmentation (noise, shift, flip) must
+// make two samples of the same class distinct while keeping them closer
+// to each other than to other classes on average.
+func TestSameClassSamplesDiffer(t *testing.T) {
+	tr, _ := Synthetic(SynthConfig{Classes: 5, Train: 50, Test: 5, HW: 12, Seed: 11})
+	dim := 3 * 12 * 12
+	// Samples 0 and 5 share class 0; sample 1 is class 1.
+	d01 := dist(tr, 0, 5, dim)
+	if d01 == 0 {
+		t.Fatal("two augmentations of the same class are identical")
+	}
+	var same, cross float64
+	var ns, nc int
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			d := dist(tr, i, j, dim)
+			if tr.Y[i] == tr.Y[j] {
+				same += d
+				ns++
+			} else {
+				cross += d
+				nc++
+			}
+		}
+	}
+	if same/float64(ns) >= cross/float64(nc) {
+		t.Errorf("mean same-class distance %.3f not below cross-class %.3f",
+			same/float64(ns), cross/float64(nc))
+	}
+}
+
+func dist(d *Dataset, i, j, dim int) float64 {
+	var s float64
+	for k := 0; k < dim; k++ {
+		df := float64(d.X.Data[i*dim+k] - d.X.Data[j*dim+k])
+		s += df * df
+	}
+	return math.Sqrt(s)
+}
+
+// TestTrainTestSplitsDiffer: train and test draw different samples from
+// the same prototypes.
+func TestTrainTestSplitsDiffer(t *testing.T) {
+	tr, te := Synthetic(SynthConfig{Classes: 3, Train: 9, Test: 9, HW: 8, Seed: 12})
+	dim := 3 * 8 * 8
+	same := true
+	for k := 0; k < dim; k++ {
+		if tr.X.Data[k] != te.X.Data[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("train and test share identical first samples")
+	}
+}
+
+// TestNoiseKnob: higher noise must increase intra-class variance.
+func TestNoiseKnob(t *testing.T) {
+	quiet, _ := Synthetic(SynthConfig{Classes: 2, Train: 20, Test: 2, HW: 8, Seed: 13, Noise: 0.05})
+	loud, _ := Synthetic(SynthConfig{Classes: 2, Train: 20, Test: 2, HW: 8, Seed: 13, Noise: 0.8})
+	dim := 3 * 8 * 8
+	var dq, dl float64
+	for i := 0; i < 10; i += 2 {
+		dq += dist(quiet, i, i+2, dim) // same class (stride 2 over 2 classes)
+		dl += dist(loud, i, i+2, dim)
+	}
+	if dl <= dq {
+		t.Errorf("noise knob inert: loud %.3f <= quiet %.3f", dl, dq)
+	}
+}
+
+func TestHundredClassGeneration(t *testing.T) {
+	tr, _ := Synthetic(SynthConfig{Classes: 100, Train: 200, Test: 100, HW: 8, Seed: 14})
+	seen := make(map[int]bool)
+	for _, y := range tr.Y {
+		if y < 0 || y >= 100 {
+			t.Fatalf("label %d out of range", y)
+		}
+		seen[y] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("only %d distinct classes generated", len(seen))
+	}
+}

@@ -1,0 +1,242 @@
+// Package data supplies the image-classification datasets for the
+// retraining experiments. The paper uses CIFAR-10/CIFAR-100; those
+// archives are not available offline, so this package generates
+// deterministic synthetic stand-ins with the same tensor layout
+// (3-channel square images, 10 or 100 classes): class-conditional
+// procedural textures — mixtures of class-specific sinusoids and
+// Gaussian blobs — with per-sample noise, shifts, and flips. The
+// resulting task is learnable but not trivial, which is what the
+// STE-vs-difference-gradient comparisons require (see DESIGN.md).
+//
+// When real CIFAR binary batches are available on disk, LoadBinary
+// reads them into the same Dataset type.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// Dataset is a labeled image set in NCHW float32 form, values roughly
+// in [-1, 1].
+type Dataset struct {
+	// X is (N, 3, HW, HW).
+	X *tensor.Tensor
+	// Y holds one class label per image.
+	Y []int
+	// Classes is the label-space size.
+	Classes int
+}
+
+// Len returns the number of images.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// HW returns the (square) image resolution.
+func (d *Dataset) HW() int { return d.X.Shape[2] }
+
+// Image returns a view of image i as a (1, 3, HW, HW) tensor copy.
+func (d *Dataset) Image(i int) *tensor.Tensor {
+	c, h, w := d.X.Shape[1], d.X.Shape[2], d.X.Shape[3]
+	img := tensor.New(1, c, h, w)
+	copy(img.Data, d.X.Data[i*c*h*w:(i+1)*c*h*w])
+	return img
+}
+
+// SynthConfig parameterizes the synthetic generator.
+type SynthConfig struct {
+	// Classes is 10 (CIFAR-10 stand-in) or 100 (CIFAR-100 stand-in);
+	// any positive value works.
+	Classes int
+	// Train and Test are the split sizes.
+	Train, Test int
+	// HW is the image resolution (32 at paper scale).
+	HW int
+	// Seed drives the whole generation deterministically.
+	Seed int64
+	// Noise is the per-pixel noise standard deviation (default 0.25).
+	Noise float64
+}
+
+type classProto struct {
+	// Per channel: three sinusoid components (fx, fy, phase, amp).
+	waves [3][3][4]float64
+	// One Gaussian blob per channel: (cx, cy, sigma, amp).
+	blobs [3][4]float64
+	// Channel offsets.
+	bias [3]float64
+}
+
+func newProto(rng *rand.Rand) classProto {
+	var p classProto
+	for c := 0; c < 3; c++ {
+		for k := 0; k < 3; k++ {
+			p.waves[c][k] = [4]float64{
+				float64(1 + rng.Intn(4)),
+				float64(1 + rng.Intn(4)),
+				rng.Float64() * 2 * math.Pi,
+				0.25 + 0.35*rng.Float64(),
+			}
+		}
+		p.blobs[c] = [4]float64{
+			0.2 + 0.6*rng.Float64(),
+			0.2 + 0.6*rng.Float64(),
+			0.1 + 0.2*rng.Float64(),
+			0.4 + 0.6*rng.Float64(),
+		}
+		p.bias[c] = 0.4 * (rng.Float64() - 0.5)
+	}
+	return p
+}
+
+func (p classProto) at(c int, y, x, hw float64) float64 {
+	v := p.bias[c]
+	for _, w := range p.waves[c] {
+		v += w[3] * math.Sin(2*math.Pi*(w[0]*x+w[1]*y)/hw+w[2])
+	}
+	b := p.blobs[c]
+	dx := x/hw - b[0]
+	dy := y/hw - b[1]
+	v += b[3] * math.Exp(-(dx*dx+dy*dy)/(2*b[2]*b[2]))
+	return v
+}
+
+// Synthetic generates a train/test pair. Both splits draw from the
+// same class prototypes; samples differ by noise, circular shifts of
+// up to 2 pixels, and horizontal flips.
+func Synthetic(cfg SynthConfig) (train, test *Dataset) {
+	if cfg.Classes < 2 || cfg.Train < 1 || cfg.Test < 1 || cfg.HW < 4 {
+		panic(fmt.Sprintf("data: invalid synthetic config %+v", cfg))
+	}
+	noise := cfg.Noise
+	if noise == 0 {
+		noise = 0.25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	protos := make([]classProto, cfg.Classes)
+	for i := range protos {
+		protos[i] = newProto(rng)
+	}
+	gen := func(n int, r *rand.Rand) *Dataset {
+		ds := &Dataset{X: tensor.New(n, 3, cfg.HW, cfg.HW), Y: make([]int, n), Classes: cfg.Classes}
+		hw := cfg.HW
+		fhw := float64(hw)
+		for i := 0; i < n; i++ {
+			label := i % cfg.Classes // balanced classes
+			ds.Y[i] = label
+			p := protos[label]
+			shiftX := r.Intn(5) - 2
+			shiftY := r.Intn(5) - 2
+			flip := r.Intn(2) == 1
+			amp := 0.85 + 0.3*r.Float64()
+			base := i * 3 * hw * hw
+			for c := 0; c < 3; c++ {
+				for y := 0; y < hw; y++ {
+					for x := 0; x < hw; x++ {
+						sx := x
+						if flip {
+							sx = hw - 1 - x
+						}
+						px := float64((sx + shiftX + hw) % hw)
+						py := float64((y + shiftY + hw) % hw)
+						v := amp*p.at(c, py, px, fhw) + noise*r.NormFloat64()
+						if v > 1.5 {
+							v = 1.5
+						}
+						if v < -1.5 {
+							v = -1.5
+						}
+						ds.X.Data[base+c*hw*hw+y*hw+x] = float32(v)
+					}
+				}
+			}
+		}
+		return ds
+	}
+	train = gen(cfg.Train, rand.New(rand.NewSource(cfg.Seed+1)))
+	test = gen(cfg.Test, rand.New(rand.NewSource(cfg.Seed+2)))
+	return train, test
+}
+
+// Batch is one minibatch.
+type Batch struct {
+	X *tensor.Tensor // (B, 3, HW, HW)
+	Y []int
+}
+
+// Batches splits the dataset into minibatches, shuffling with the given
+// seed (shuffle is skipped when seed is 0). The final short batch is
+// included.
+func (d *Dataset) Batches(batchSize int, seed int64) []Batch {
+	if batchSize < 1 {
+		panic("data: batch size must be positive")
+	}
+	n := d.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if seed != 0 {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	chw := d.X.Shape[1] * d.X.Shape[2] * d.X.Shape[3]
+	var out []Batch
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		b := Batch{
+			X: tensor.New(hi-lo, d.X.Shape[1], d.X.Shape[2], d.X.Shape[3]),
+			Y: make([]int, hi-lo),
+		}
+		for i := lo; i < hi; i++ {
+			src := order[i]
+			copy(b.X.Data[(i-lo)*chw:(i-lo+1)*chw], d.X.Data[src*chw:(src+1)*chw])
+			b.Y[i-lo] = d.Y[src]
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// LoadBinary reads CIFAR-style binary batches (1 label byte followed by
+// 3072 pixel bytes per record, as in the CIFAR-10 distribution) and
+// normalizes pixels to [-1, 1]. It exists so the harness can run on the
+// real datasets when they are present; the experiments default to
+// Synthetic.
+func LoadBinary(classes int, paths ...string) (*Dataset, error) {
+	const rec = 1 + 3*32*32
+	var raw []byte
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("data: %w", err)
+		}
+		if len(b)%rec != 0 {
+			return nil, fmt.Errorf("data: %s is not a CIFAR binary batch (size %d)", p, len(b))
+		}
+		raw = append(raw, b...)
+	}
+	n := len(raw) / rec
+	if n == 0 {
+		return nil, fmt.Errorf("data: no records found")
+	}
+	ds := &Dataset{X: tensor.New(n, 3, 32, 32), Y: make([]int, n), Classes: classes}
+	for i := 0; i < n; i++ {
+		r := raw[i*rec : (i+1)*rec]
+		label := int(r[0])
+		if label >= classes {
+			return nil, fmt.Errorf("data: label %d exceeds class count %d", label, classes)
+		}
+		ds.Y[i] = label
+		for j, px := range r[1:] {
+			ds.X.Data[i*3072+j] = float32(px)/127.5 - 1
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,112 @@
+package errmetrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+func sumsToOne(t *testing.T, p []float64) {
+	t.Helper()
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", s)
+	}
+}
+
+func TestGaussianLevels(t *testing.T) {
+	p := GaussianLevels(6, 32, 8)
+	sumsToOne(t, p)
+	// Peak at the mean, symmetric tails.
+	if p[32] <= p[16] || p[32] <= p[48] {
+		t.Error("Gaussian peak not at mean")
+	}
+	if math.Abs(p[24]-p[40]) > 1e-12 {
+		t.Error("Gaussian not symmetric around the mean")
+	}
+}
+
+func TestExponentialLevels(t *testing.T) {
+	p := ExponentialLevels(6, 0.9)
+	sumsToOne(t, p)
+	for v := 1; v < len(p); v++ {
+		if p[v] >= p[v-1] {
+			t.Fatalf("not monotonically decaying at %d", v)
+		}
+	}
+	if math.Abs(p[1]/p[0]-0.9) > 1e-9 {
+		t.Errorf("decay rate %v, want 0.9", p[1]/p[0])
+	}
+}
+
+func TestOperandDistributionIndependence(t *testing.T) {
+	bits := 4
+	w := GaussianLevels(bits, 8, 3)
+	x := ExponentialLevels(bits, 0.8)
+	joint := OperandDistribution(bits, w, x)
+	sumsToOne(t, joint)
+	if got := joint[bitutil.PairIndex(3, 5, bits)]; math.Abs(got-w[3]*x[5]) > 1e-12 {
+		t.Errorf("joint(3,5) = %v, want %v", got, w[3]*x[5])
+	}
+}
+
+// TestWeightedSkewedDistribution: under post-ReLU-like activation
+// statistics, the truncated multiplier's NMED must be far below its
+// uniform-input figure — truncation errors live in the low partial
+// products, which fire less often when activations are small... in
+// fact for rm-k multipliers the error REQUIRES low bits of both
+// operands, so mass at small X levels keeps low pps active; the check
+// here is simply that the weighted pipeline is consistent: uniform
+// weighting reproduces Exhaustive, and skewed weighting changes the
+// answer.
+func TestWeightedSkewedDistribution(t *testing.T) {
+	bits := 6
+	rm4 := func(w, x uint32) uint32 {
+		var y uint32
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				if i+j >= 4 && (w>>uint(i))&1 == 1 && (x>>uint(j))&1 == 1 {
+					y += 1 << uint(i+j)
+				}
+			}
+		}
+		return y
+	}
+	uniformLevel := make([]float64, bitutil.NumInputs(bits))
+	for i := range uniformLevel {
+		uniformLevel[i] = 1 / float64(len(uniformLevel))
+	}
+	uni := Weighted(bits, rm4, OperandDistribution(bits, uniformLevel, uniformLevel))
+	ex := Exhaustive(bits, rm4)
+	if math.Abs(uni.NMEDPercent-ex.NMEDPercent) > 1e-9 {
+		t.Errorf("uniform weighted %v != exhaustive %v", uni.NMEDPercent, ex.NMEDPercent)
+	}
+	skew := Weighted(bits, rm4,
+		OperandDistribution(bits, GaussianLevels(bits, 32, 10), ExponentialLevels(bits, 0.85)))
+	if skew.NMEDPercent == uni.NMEDPercent {
+		t.Error("skewed distribution did not change NMED")
+	}
+	if skew.MaxED != uni.MaxED {
+		// Both distributions have full support, so MaxED is unchanged.
+		t.Errorf("full-support distributions disagree on MaxED: %d vs %d", skew.MaxED, uni.MaxED)
+	}
+}
+
+func TestDistributionValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("short level table", func() { OperandDistribution(4, make([]float64, 3), make([]float64, 16)) })
+	mustPanic("zero sigma", func() { GaussianLevels(4, 2, 0) })
+	mustPanic("bad rate", func() { ExponentialLevels(4, 1.5) })
+}

@@ -1,0 +1,168 @@
+package errmetrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+func accMul(w, x uint32) uint32 { return w * x }
+
+func TestExhaustiveAccurate(t *testing.T) {
+	m := Exhaustive(6, accMul)
+	if m.ERPercent != 0 || m.NMEDPercent != 0 || m.MaxED != 0 || m.MeanED != 0 {
+		t.Errorf("accurate multiplier has errors: %+v", m)
+	}
+}
+
+func TestExhaustiveConstantError(t *testing.T) {
+	// approx = acc + 3 everywhere: ER=100, MeanED=3, MaxED=3.
+	m := Exhaustive(4, func(w, x uint32) uint32 { return w*x + 3 })
+	if m.ERPercent != 100 {
+		t.Errorf("ER = %v", m.ERPercent)
+	}
+	if m.MeanED != 3 || m.MaxED != 3 {
+		t.Errorf("MeanED=%v MaxED=%v", m.MeanED, m.MaxED)
+	}
+	wantNMED := 3.0 / 255 * 100
+	if math.Abs(m.NMEDPercent-wantNMED) > 1e-9 {
+		t.Errorf("NMED = %v, want %v", m.NMEDPercent, wantNMED)
+	}
+}
+
+func TestExhaustiveSingleWrongEntry(t *testing.T) {
+	// One wrong pair out of 256: ER = 1/256.
+	m := Exhaustive(4, func(w, x uint32) uint32 {
+		if w == 5 && x == 7 {
+			return 0
+		}
+		return w * x
+	})
+	if math.Abs(m.ERPercent-100.0/256) > 1e-9 {
+		t.Errorf("ER = %v", m.ERPercent)
+	}
+	if m.MaxED != 35 {
+		t.Errorf("MaxED = %d, want 35", m.MaxED)
+	}
+}
+
+func TestExhaustiveMatchesPaperTruncationFormula(t *testing.T) {
+	// For the rm-k family, MeanED = RemovedWeight/4 analytically; the
+	// paper's mul8u_rm8 row (NMED 0.68%, MaxED 1793) follows.
+	rm8 := func(w, x uint32) uint32 {
+		var y uint32
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if i+j >= 8 && (w>>uint(i))&1 == 1 && (x>>uint(j))&1 == 1 {
+					y += 1 << uint(i+j)
+				}
+			}
+		}
+		return y
+	}
+	m := Exhaustive(8, rm8)
+	if m.MaxED != 1793 {
+		t.Errorf("MaxED = %d, want 1793", m.MaxED)
+	}
+	if math.Abs(m.MeanED-1793.0/4) > 1e-9 {
+		t.Errorf("MeanED = %v, want %v", m.MeanED, 1793.0/4)
+	}
+	if math.Abs(m.NMEDPercent-0.68) > 0.005 {
+		t.Errorf("NMED = %.4f%%, want 0.68%%", m.NMEDPercent)
+	}
+}
+
+func TestExhaustiveLUT(t *testing.T) {
+	bits := 4
+	lut := make([]uint32, bitutil.NumPairs(bits))
+	for w := uint32(0); w < 16; w++ {
+		for x := uint32(0); x < 16; x++ {
+			lut[bitutil.PairIndex(w, x, bits)] = w * x
+		}
+	}
+	if m := ExhaustiveLUT(bits, lut); m.ERPercent != 0 {
+		t.Errorf("accurate LUT has ER %v", m.ERPercent)
+	}
+	lut[bitutil.PairIndex(2, 2, bits)] = 5
+	m := ExhaustiveLUT(bits, lut)
+	if m.MaxED != 1 {
+		t.Errorf("MaxED = %d, want 1", m.MaxED)
+	}
+}
+
+func TestExhaustiveLUTSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short LUT accepted")
+		}
+	}()
+	ExhaustiveLUT(4, make([]uint32, 3))
+}
+
+func TestWeightedUniformMatchesExhaustive(t *testing.T) {
+	bits := 4
+	approx := func(w, x uint32) uint32 { return (w * x) &^ 1 } // drop LSB
+	prob := make([]float64, bitutil.NumPairs(bits))
+	for i := range prob {
+		prob[i] = 1.0 / float64(len(prob))
+	}
+	we := Weighted(bits, approx, prob)
+	ex := Exhaustive(bits, approx)
+	if math.Abs(we.ERPercent-ex.ERPercent) > 1e-9 ||
+		math.Abs(we.NMEDPercent-ex.NMEDPercent) > 1e-9 ||
+		we.MaxED != ex.MaxED {
+		t.Errorf("weighted uniform %+v != exhaustive %+v", we, ex)
+	}
+}
+
+func TestWeightedConcentrated(t *testing.T) {
+	bits := 4
+	approx := func(w, x uint32) uint32 {
+		if w == 3 && x == 3 {
+			return 0
+		}
+		return w * x
+	}
+	prob := make([]float64, bitutil.NumPairs(bits))
+	prob[bitutil.PairIndex(3, 3, bits)] = 1.0
+	m := Weighted(bits, approx, prob)
+	if m.ERPercent != 100 || m.MeanED != 9 || m.MaxED != 9 {
+		t.Errorf("concentrated distribution: %+v", m)
+	}
+	// Zero-probability errors must not affect MaxED.
+	prob2 := make([]float64, bitutil.NumPairs(bits))
+	prob2[bitutil.PairIndex(0, 0, bits)] = 1.0
+	m2 := Weighted(bits, approx, prob2)
+	if m2.ERPercent != 0 || m2.MaxED != 0 {
+		t.Errorf("zero-probability error counted: %+v", m2)
+	}
+}
+
+func TestWeightedRejectsBadDistribution(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-normalized distribution accepted")
+		}
+	}()
+	Weighted(4, accMul, make([]float64, bitutil.NumPairs(4)))
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Metrics{ERPercent: 98.0, NMEDPercent: 0.68, MaxED: 1793}.String()
+	for _, want := range []string{"98.0", "0.68", "1793"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestExhaustiveWidthGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bits=13 accepted")
+		}
+	}()
+	Exhaustive(13, accMul)
+}

@@ -1,0 +1,269 @@
+// Package gradient implements the paper's core contribution: the
+// difference-based gradient approximation of approximate multipliers
+// (Section III), together with the baseline straight-through estimator
+// (STE) and the LUT infrastructure the retraining framework consumes
+// (Section IV).
+//
+// For a B-bit AppMult AM(W, X), the gradient w.r.t. X at a fixed W is
+// obtained in two steps:
+//
+//  1. Smooth the stair-like row AM(W, ·) with a moving average of half
+//     window size HWS (Eq. 4).
+//  2. Take the central difference of the smoothed row in the interior
+//     (Eq. 5); outside the smoothing-valid interior, use the row's
+//     total range divided by 2^B (Eq. 6).
+//
+// The gradient w.r.t. W is obtained symmetrically on columns. Both
+// gradients are precomputed for every operand pair into LUTs, matching
+// the paper's CUDA-kernel LUT design.
+package gradient
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+// DefaultHWSCandidates is the half-window-size sweep the paper uses to
+// select HWS per multiplier (Section V-A).
+var DefaultHWSCandidates = []int{1, 2, 4, 8, 16, 32, 64}
+
+// MaxHWS returns the largest admissible half window size for a bit
+// width: the window 2*HWS+1 must fit in the operand range.
+func MaxHWS(bits int) int {
+	return (bitutil.NumInputs(bits) - 1) / 2
+}
+
+// SmoothRow applies the Eq. (4) moving average to one multiplier row
+// row[x] = AM(Wf, x) (length 2^B). The result is defined for
+// HWS <= X <= 2^B-1-HWS; entries outside that range are left as NaN-free
+// zeros and reported via the returned lo/hi bounds (inclusive).
+func SmoothRow(row []uint32, hws int) (smoothed []float64, lo, hi int) {
+	n := len(row)
+	if n == 0 || n&(n-1) != 0 {
+		panic("gradient: row length must be a power of two (2^B)")
+	}
+	if hws < 1 || 2*hws+1 > n {
+		panic(fmt.Sprintf("gradient: HWS %d invalid for row length %d", hws, n))
+	}
+	smoothed = make([]float64, n)
+	lo, hi = hws, n-1-hws
+	window := float64(2*hws + 1)
+	// Sliding-window sum for O(n) smoothing.
+	var sum float64
+	for dx := -hws; dx <= hws; dx++ {
+		sum += float64(row[lo+dx])
+	}
+	for x := lo; x <= hi; x++ {
+		smoothed[x] = sum / window
+		if x+1 <= hi {
+			sum += float64(row[x+1+hws]) - float64(row[x-hws])
+		}
+	}
+	return smoothed, lo, hi
+}
+
+// DifferenceRow computes the difference-based gradient of one row
+// (Eqs. 5 and 6): the central difference of the smoothed row in the
+// open interior (HWS, 2^B-1-HWS), and the total range of the raw row
+// divided by 2^B elsewhere.
+func DifferenceRow(row []uint32, hws int) []float64 {
+	n := len(row)
+	smoothed, lo, hi := SmoothRow(row, hws)
+	grad := make([]float64, n)
+
+	// Eq. (6) boundary value: (max - min) / 2^B of the raw row.
+	mn, mx := row[0], row[0]
+	for _, v := range row[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	boundary := float64(mx-mn) / float64(n)
+
+	for x := 0; x < n; x++ {
+		if x > lo && x < hi {
+			grad[x] = (smoothed[x+1] - smoothed[x-1]) / 2
+		} else {
+			grad[x] = boundary
+		}
+	}
+	return grad
+}
+
+// Tables holds the precomputed gradient LUTs of one multiplier for a
+// given half window size: the paper's Section IV backward-pass
+// artifacts. Both tables are indexed by bitutil.PairIndex(w, x, Bits).
+type Tables struct {
+	// Name records the source multiplier and estimator, for reports.
+	Name string
+	// Bits is the operand width.
+	Bits int
+	// HWS is the half window size used (0 for STE tables).
+	HWS int
+	// DW[idx] approximates dAM/dW at the pair (w, x).
+	DW []float32
+	// DX[idx] approximates dAM/dX at the pair (w, x).
+	DX []float32
+}
+
+// At returns (dAM/dW, dAM/dX) at an operand pair.
+func (t *Tables) At(w, x uint32) (dw, dx float32) {
+	idx := bitutil.PairIndex(w, x, t.Bits)
+	return t.DW[idx], t.DX[idx]
+}
+
+// MulFunc is a multiplier behaviour (same contract as
+// errmetrics.MulFunc; duplicated to keep the package dependency-light).
+type MulFunc func(w, x uint32) uint32
+
+// Difference builds the difference-based gradient tables for a
+// multiplier behaviour (the paper's proposed method). The per-row cost
+// is O(2^B) thanks to sliding-window smoothing, so the full build is
+// O(2^(2B)) — about 65k operations for 8-bit multipliers.
+func Difference(name string, bits, hws int, mul MulFunc) *Tables {
+	bitutil.CheckWidth(bits)
+	if hws < 1 || hws > MaxHWS(bits) {
+		panic(fmt.Sprintf("gradient: HWS %d outside [1,%d] for %d bits", hws, MaxHWS(bits), bits))
+	}
+	nv := bitutil.NumInputs(bits)
+	t := &Tables{
+		Name: fmt.Sprintf("%s/diff(hws=%d)", name, hws),
+		Bits: bits,
+		HWS:  hws,
+		DW:   make([]float32, bitutil.NumPairs(bits)),
+		DX:   make([]float32, bitutil.NumPairs(bits)),
+	}
+	row := make([]uint32, nv)
+	// dAM/dX: fix W, vary X along a row.
+	for w := 0; w < nv; w++ {
+		for x := 0; x < nv; x++ {
+			row[x] = mul(uint32(w), uint32(x))
+		}
+		g := DifferenceRow(row, hws)
+		for x := 0; x < nv; x++ {
+			t.DX[bitutil.PairIndex(uint32(w), uint32(x), bits)] = float32(g[x])
+		}
+	}
+	// dAM/dW: fix X, vary W along a column.
+	for x := 0; x < nv; x++ {
+		for w := 0; w < nv; w++ {
+			row[w] = mul(uint32(w), uint32(x))
+		}
+		g := DifferenceRow(row, hws)
+		for w := 0; w < nv; w++ {
+			t.DW[bitutil.PairIndex(uint32(w), uint32(x), bits)] = float32(g[w])
+		}
+	}
+	return t
+}
+
+// STE builds the straight-through-estimator tables used by all prior
+// AppMult-aware retraining frameworks (Eq. 3): the AppMult gradient is
+// replaced by the accurate multiplier's, dAM/dW = X and dAM/dX = W,
+// regardless of the actual AppMult behaviour.
+func STE(bits int) *Tables {
+	bitutil.CheckWidth(bits)
+	nv := bitutil.NumInputs(bits)
+	t := &Tables{
+		Name: fmt.Sprintf("mul%du/ste", bits),
+		Bits: bits,
+		DW:   make([]float32, bitutil.NumPairs(bits)),
+		DX:   make([]float32, bitutil.NumPairs(bits)),
+	}
+	for w := 0; w < nv; w++ {
+		for x := 0; x < nv; x++ {
+			idx := bitutil.PairIndex(uint32(w), uint32(x), bits)
+			t.DW[idx] = float32(x)
+			t.DX[idx] = float32(w)
+		}
+	}
+	return t
+}
+
+// GradFunc is a user-defined gradient: the framework "can also
+// accommodate other user-defined gradients of AppMults" (Section IV).
+type GradFunc func(w, x uint32) (dw, dx float64)
+
+// FromFunc builds tables from an arbitrary user-defined gradient.
+func FromFunc(name string, bits int, f GradFunc) *Tables {
+	bitutil.CheckWidth(bits)
+	nv := bitutil.NumInputs(bits)
+	t := &Tables{
+		Name: name,
+		Bits: bits,
+		DW:   make([]float32, bitutil.NumPairs(bits)),
+		DX:   make([]float32, bitutil.NumPairs(bits)),
+	}
+	for w := 0; w < nv; w++ {
+		for x := 0; x < nv; x++ {
+			dw, dx := f(uint32(w), uint32(x))
+			idx := bitutil.PairIndex(uint32(w), uint32(x), bits)
+			t.DW[idx] = float32(dw)
+			t.DX[idx] = float32(dx)
+		}
+	}
+	return t
+}
+
+// RawDifference builds difference tables without smoothing (HWS
+// conceptually zero): the raw central difference of the unsmoothed
+// AppMult function in the interior, with Eq. (6) boundaries. It exists
+// for the smoothing ablation — Section III-A argues it destabilizes
+// training because the gradient is zero on stair plateaus and huge at
+// stair edges.
+func RawDifference(name string, bits int, mul MulFunc) *Tables {
+	bitutil.CheckWidth(bits)
+	nv := bitutil.NumInputs(bits)
+	t := &Tables{
+		Name: fmt.Sprintf("%s/rawdiff", name),
+		Bits: bits,
+		DW:   make([]float32, bitutil.NumPairs(bits)),
+		DX:   make([]float32, bitutil.NumPairs(bits)),
+	}
+	rawRow := func(row []uint32) []float64 {
+		n := len(row)
+		g := make([]float64, n)
+		mn, mx := row[0], row[0]
+		for _, v := range row[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		boundary := float64(mx-mn) / float64(n)
+		for x := 0; x < n; x++ {
+			if x > 0 && x < n-1 {
+				g[x] = (float64(row[x+1]) - float64(row[x-1])) / 2
+			} else {
+				g[x] = boundary
+			}
+		}
+		return g
+	}
+	row := make([]uint32, nv)
+	for w := 0; w < nv; w++ {
+		for x := 0; x < nv; x++ {
+			row[x] = mul(uint32(w), uint32(x))
+		}
+		g := rawRow(row)
+		for x := 0; x < nv; x++ {
+			t.DX[bitutil.PairIndex(uint32(w), uint32(x), bits)] = float32(g[x])
+		}
+	}
+	for x := 0; x < nv; x++ {
+		for w := 0; w < nv; w++ {
+			row[w] = mul(uint32(w), uint32(x))
+		}
+		g := rawRow(row)
+		for w := 0; w < nv; w++ {
+			t.DW[bitutil.PairIndex(uint32(w), uint32(x), bits)] = float32(g[w])
+		}
+	}
+	return t
+}

@@ -1,0 +1,280 @@
+package gradient
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+func row7(m appmult.Multiplier, w uint32) []uint32 {
+	row := make([]uint32, bitutil.NumInputs(m.Bits()))
+	for x := range row {
+		row[x] = m.Mul(w, uint32(x))
+	}
+	return row
+}
+
+func TestSmoothRowConstant(t *testing.T) {
+	row := make([]uint32, 16)
+	for i := range row {
+		row[i] = 7
+	}
+	s, lo, hi := SmoothRow(row, 2)
+	if lo != 2 || hi != 13 {
+		t.Fatalf("bounds = [%d,%d], want [2,13]", lo, hi)
+	}
+	for x := lo; x <= hi; x++ {
+		if s[x] != 7 {
+			t.Errorf("smoothed constant row changed at %d: %v", x, s[x])
+		}
+	}
+}
+
+func TestSmoothRowLinearInvariant(t *testing.T) {
+	// Moving average of a linear function is the same linear function
+	// (in the valid interior).
+	row := make([]uint32, 32)
+	for i := range row {
+		row[i] = uint32(3 * i)
+	}
+	s, lo, hi := SmoothRow(row, 4)
+	for x := lo; x <= hi; x++ {
+		if math.Abs(s[x]-float64(3*x)) > 1e-9 {
+			t.Errorf("linear row distorted at %d: %v", x, s[x])
+		}
+	}
+}
+
+func TestSmoothRowEqualsNaiveAverage(t *testing.T) {
+	// The sliding-window implementation must equal the literal Eq. (4).
+	m, _ := appmult.Lookup("mul7u_rm6")
+	row := row7(m.Mult, 10)
+	hws := 4
+	s, lo, hi := SmoothRow(row, hws)
+	for x := lo; x <= hi; x++ {
+		var sum float64
+		for dx := -hws; dx <= hws; dx++ {
+			sum += float64(row[x+dx])
+		}
+		want := sum / float64(2*hws+1)
+		if math.Abs(s[x]-want) > 1e-6 {
+			t.Fatalf("sliding window diverges from Eq.(4) at X=%d: %v vs %v", x, s[x], want)
+		}
+	}
+}
+
+func TestSmoothRowValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-power-of-two", func() { SmoothRow(make([]uint32, 15), 2) })
+	mustPanic("hws 0", func() { SmoothRow(make([]uint32, 16), 0) })
+	mustPanic("window too large", func() { SmoothRow(make([]uint32, 16), 8) })
+}
+
+func TestDifferenceRowOnAccurateRow(t *testing.T) {
+	// For the accurate multiplier, AM(W,X) = W*X is linear in X, so
+	// the difference-based interior gradient equals W exactly and the
+	// boundary value is W*(2^B-1)/2^B ~ W.
+	acc := appmult.NewAccurate(7)
+	w := uint32(10)
+	g := DifferenceRow(row7(acc, w), 4)
+	for x := 5; x < 122; x++ {
+		if math.Abs(g[x]-float64(w)) > 1e-9 {
+			t.Errorf("interior gradient at X=%d is %v, want %d", x, g[x], w)
+		}
+	}
+	boundary := float64(w) * 127 / 128
+	for _, x := range []int{0, 4, 123, 127} {
+		if math.Abs(g[x]-boundary) > 1e-9 {
+			t.Errorf("boundary gradient at X=%d is %v, want %v", x, g[x], boundary)
+		}
+	}
+}
+
+// TestDifferenceRowFig3 reproduces the structure of the paper's Fig. 3:
+// for mul7u_rm6 at Wf=10, HWS=4, the AppMult row has large jumps at
+// X = 31, 63, 95, and the difference-based gradient must peak around
+// those positions while STE stays flat at 10.
+func TestDifferenceRowFig3(t *testing.T) {
+	e, _ := appmult.Lookup("mul7u_rm6")
+	row := row7(e.Mult, 10)
+	g := DifferenceRow(row, 4)
+
+	// Jumps in the raw function at the stair edges called out in Fig. 3.
+	for _, x := range []int{31, 63, 95} {
+		jump := int64(row[x+1]) - int64(row[x])
+		if jump <= 0 {
+			t.Errorf("expected an upward stair at X=%d, got jump %d", x, jump)
+		}
+	}
+	// The gradient near the jumps must exceed the gradient far from
+	// them (plateau centers).
+	peak := math.Max(g[31], math.Max(g[63], g[95]))
+	plateau := g[48]
+	if peak <= plateau {
+		t.Errorf("gradient peak %v not above plateau %v", peak, plateau)
+	}
+	// And must exceed the STE value of 10 at the largest stairs.
+	if peak <= 10 {
+		t.Errorf("gradient peak %v not above STE's constant 10", peak)
+	}
+}
+
+func TestDifferenceTablesAccurateNearSTE(t *testing.T) {
+	// For an accurate multiplier the difference-based gradient should
+	// essentially agree with STE in the interior: the paper's method
+	// only differs when the AppMult deviates from W*X.
+	bits := 6
+	acc := appmult.NewAccurate(bits)
+	diff := Difference(acc.Name(), bits, 2, acc.Mul)
+	ste := STE(bits)
+	nv := uint32(bitutil.NumInputs(bits))
+	for w := uint32(3); w < nv-3; w++ {
+		for x := uint32(3); x < nv-3; x++ {
+			dw, dx := diff.At(w, x)
+			sw, sx := ste.At(w, x)
+			if math.Abs(float64(dw-sw)) > 1e-4 || math.Abs(float64(dx-sx)) > 1e-4 {
+				t.Fatalf("accurate-mult diff gradient differs from STE at (%d,%d): (%v,%v) vs (%v,%v)",
+					w, x, dw, dx, sw, sx)
+			}
+		}
+	}
+}
+
+func TestSTETables(t *testing.T) {
+	ste := STE(7)
+	f := func(w, x uint8) bool {
+		wi, xi := uint32(w)&127, uint32(x)&127
+		dw, dx := ste.At(wi, xi)
+		return dw == float32(xi) && dx == float32(wi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if ste.HWS != 0 {
+		t.Errorf("STE tables report HWS %d", ste.HWS)
+	}
+}
+
+func TestDifferenceSymmetryForSymmetricMult(t *testing.T) {
+	// mul7u_rm6 is symmetric in (W, X) (the mask is symmetric), so
+	// DW(w,x) must equal DX(x,w).
+	e, _ := appmult.Lookup("mul7u_rm6")
+	tb := Difference(e.Mult.Name(), 7, 4, e.Mult.Mul)
+	for w := uint32(0); w < 128; w += 3 {
+		for x := uint32(0); x < 128; x += 3 {
+			dw, _ := tb.At(w, x)
+			_, dx := tb.At(x, w)
+			if math.Abs(float64(dw-dx)) > 1e-5 {
+				t.Fatalf("symmetry violated at (%d,%d): DW=%v DX(swapped)=%v", w, x, dw, dx)
+			}
+		}
+	}
+}
+
+func TestDifferenceGradientsFinite(t *testing.T) {
+	for _, name := range []string{"mul8u_rm8", "mul8u_2NDH", "mul8u_1DMU", "mul7u_syn2", "mul6u_rm4"} {
+		e, ok := appmult.Lookup(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		hws := e.HWS
+		if hws > MaxHWS(e.Mult.Bits()) {
+			hws = MaxHWS(e.Mult.Bits())
+		}
+		tb := Difference(name, e.Mult.Bits(), hws, e.Mult.Mul)
+		for i, v := range tb.DW {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: DW[%d] = %v", name, i, v)
+			}
+		}
+		for i, v := range tb.DX {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: DX[%d] = %v", name, i, v)
+			}
+		}
+	}
+}
+
+func TestDifferenceNoZeroGradientRows(t *testing.T) {
+	// Section III-A's motivation: after smoothing, rows should not be
+	// dominated by zero gradients. For mul7u_rm6 with the registry's
+	// HWS, no row with W >= 4 should have an all-zero interior.
+	e, _ := appmult.Lookup("mul7u_rm6")
+	tb := Difference("rm6", 7, e.HWS, e.Mult.Mul)
+	for w := uint32(4); w < 128; w++ {
+		nonzero := 0
+		for x := uint32(1); x < 127; x++ {
+			_, dx := tb.At(w, x)
+			if dx != 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Errorf("row W=%d has an all-zero gradient after smoothing", w)
+		}
+	}
+}
+
+func TestRawDifferenceHasStairPathology(t *testing.T) {
+	// Without smoothing, the rm6 row at W=10 must exhibit exactly the
+	// pathology Section III-A describes: mostly-zero gradients with
+	// large spikes. This is what RawDifference exists to demonstrate.
+	e, _ := appmult.Lookup("mul7u_rm6")
+	raw := RawDifference("rm6", 7, e.Mult.Mul)
+	zeros, spikes := 0, 0
+	for x := uint32(1); x < 127; x++ {
+		_, dx := raw.At(10, x)
+		if dx == 0 {
+			zeros++
+		}
+		if dx > 20 { // STE value would be 10
+			spikes++
+		}
+	}
+	if zeros < 60 {
+		t.Errorf("raw difference has only %d zero entries; expected a stair plateau", zeros)
+	}
+	if spikes == 0 {
+		t.Error("raw difference has no spikes at stair edges")
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	tb := FromFunc("custom", 4, func(w, x uint32) (float64, float64) {
+		return float64(x) / 2, float64(w) / 2
+	})
+	dw, dx := tb.At(6, 4)
+	if dw != 2 || dx != 3 {
+		t.Errorf("custom tables At(6,4) = (%v,%v), want (2,3)", dw, dx)
+	}
+}
+
+func TestMaxHWS(t *testing.T) {
+	if MaxHWS(7) != 63 {
+		t.Errorf("MaxHWS(7) = %d", MaxHWS(7))
+	}
+	if MaxHWS(2) != 1 {
+		t.Errorf("MaxHWS(2) = %d", MaxHWS(2))
+	}
+}
+
+func TestDifferenceRejectsBadHWS(t *testing.T) {
+	acc := appmult.NewAccurate(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("HWS beyond MaxHWS accepted")
+		}
+	}()
+	Difference("acc", 4, 8, acc.Mul)
+}

@@ -1,0 +1,142 @@
+package gradient
+
+import (
+	"math"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+// TestDifferenceMatchesRowComputation pins the table builder to the
+// row-level reference: every DX row of Difference() must equal
+// DifferenceRow() on that row, and every DW column must equal
+// DifferenceRow() on the transposed column.
+func TestDifferenceMatchesRowComputation(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	bits, hws := 6, 2
+	tb := Difference(e.Mult.Name(), bits, hws, e.Mult.Mul)
+	nv := bitutil.NumInputs(bits)
+	row := make([]uint32, nv)
+
+	for w := 0; w < nv; w++ {
+		for x := range row {
+			row[x] = e.Mult.Mul(uint32(w), uint32(x))
+		}
+		g := DifferenceRow(row, hws)
+		for x := 0; x < nv; x++ {
+			_, dx := tb.At(uint32(w), uint32(x))
+			if math.Abs(float64(dx)-g[x]) > 1e-5 {
+				t.Fatalf("DX(%d,%d) = %v, row computation %v", w, x, dx, g[x])
+			}
+		}
+	}
+	for x := 0; x < nv; x++ {
+		for w := range row {
+			row[w] = e.Mult.Mul(uint32(w), uint32(x))
+		}
+		g := DifferenceRow(row, hws)
+		for w := 0; w < nv; w++ {
+			dw, _ := tb.At(uint32(w), uint32(x))
+			if math.Abs(float64(dw)-g[w]) > 1e-5 {
+				t.Fatalf("DW(%d,%d) = %v, column computation %v", w, x, dw, g[w])
+			}
+		}
+	}
+}
+
+// TestBoundaryGradientValue checks Eq. (6) literally on a known row:
+// for the accurate 6-bit multiplier at W=5, the row spans 0..315, so
+// the boundary gradient is 315/64.
+func TestBoundaryGradientValue(t *testing.T) {
+	acc := appmult.NewAccurate(6)
+	row := make([]uint32, 64)
+	for x := range row {
+		row[x] = acc.Mul(5, uint32(x))
+	}
+	g := DifferenceRow(row, 4)
+	want := float64(5*63) / 64
+	for _, x := range []int{0, 1, 4, 59, 63} {
+		if math.Abs(g[x]-want) > 1e-9 {
+			t.Errorf("boundary gradient at X=%d is %v, want %v", x, g[x], want)
+		}
+	}
+}
+
+// TestZeroRowHasZeroGradient: AM(0, X) = 0 for mask-family multipliers,
+// so both the interior and the Eq. (6) boundary must be zero.
+func TestZeroRowHasZeroGradient(t *testing.T) {
+	e, _ := appmult.Lookup("mul7u_rm6")
+	tb := Difference(e.Mult.Name(), 7, 4, e.Mult.Mul)
+	for x := uint32(0); x < 128; x++ {
+		if _, dx := tb.At(0, x); dx != 0 {
+			t.Fatalf("DX(0,%d) = %v, want 0", x, dx)
+		}
+	}
+}
+
+// TestGradientMagnitudeBounded: the difference gradient of a B-bit
+// multiplier row can never exceed the largest single-step change of
+// the smoothed function, which is bounded by the full output range.
+func TestGradientMagnitudeBounded(t *testing.T) {
+	for _, name := range []string{"mul8u_2NDH", "mul8u_1DMU", "mul7u_syn2"} {
+		e, _ := appmult.Lookup(name)
+		bits := e.Mult.Bits()
+		bound := float64(uint64(1) << uint(2*bits)) // 2^2B
+		tb := Difference(name, bits, e.HWS, e.Mult.Mul)
+		for i, v := range tb.DX {
+			if math.Abs(float64(v)) > bound {
+				t.Fatalf("%s: DX[%d] = %v exceeds range bound", name, i, v)
+			}
+		}
+	}
+}
+
+// TestSTEAndDifferenceAgreeOnAverage: averaged over a full row, the
+// difference gradient approximates the mean slope, which for any
+// multiplier close to W*X is close to the STE value W. Checked on the
+// large-error rm8 multiplier with generous tolerance — the *average*
+// slope survives approximation even when pointwise slopes do not.
+func TestSTEAndDifferenceAgreeOnAverage(t *testing.T) {
+	e, _ := appmult.Lookup("mul8u_rm8")
+	tb := Difference(e.Mult.Name(), 8, 16, e.Mult.Mul)
+	for _, w := range []uint32{32, 100, 200, 255} {
+		var sum float64
+		for x := uint32(0); x < 256; x++ {
+			_, dx := tb.At(w, x)
+			sum += float64(dx)
+		}
+		mean := sum / 256
+		if math.Abs(mean-float64(w))/float64(w) > 0.25 {
+			t.Errorf("W=%d: mean difference gradient %v far from STE %d", w, mean, w)
+		}
+	}
+}
+
+func TestTablesAtIndexing(t *testing.T) {
+	tb := STE(4)
+	dw, dx := tb.At(15, 0)
+	if dw != 0 || dx != 15 {
+		t.Errorf("At(15,0) = (%v,%v), want (0,15)", dw, dx)
+	}
+	dw, dx = tb.At(0, 15)
+	if dw != 15 || dx != 0 {
+		t.Errorf("At(0,15) = (%v,%v), want (15,0)", dw, dx)
+	}
+}
+
+func TestDefaultHWSCandidatesArePowersOfTwo(t *testing.T) {
+	prev := 0
+	for _, h := range DefaultHWSCandidates {
+		if h <= prev {
+			t.Fatalf("candidates not increasing: %v", DefaultHWSCandidates)
+		}
+		if h&(h-1) != 0 {
+			t.Fatalf("candidate %d not a power of two", h)
+		}
+		prev = h
+	}
+	if len(DefaultHWSCandidates) != 7 || DefaultHWSCandidates[6] != 64 {
+		t.Errorf("paper sweeps 1..64: %v", DefaultHWSCandidates)
+	}
+}

@@ -1,0 +1,79 @@
+package models
+
+import (
+	"math/rand"
+
+	"github.com/appmult/retrain/internal/nn"
+)
+
+// Approximate returns a deep structural rewrite of model in which every
+// float Conv2D is replaced by an ApproxConv2D sharing the same weights
+// (copied, not aliased) and driven by op. All other layers are rebuilt
+// with their parameters copied. It implements the paper's deployment
+// step — "replace all accurate multipliers in convolutional layers
+// with AppMults" — on an already-trained model, as an alternative to
+// rebuilding via a ConvFactory and CopyParams.
+//
+// The returned model is independent of the original: retraining it
+// does not disturb the source weights.
+func Approximate(model *nn.Sequential, op *nn.Op) *nn.Sequential {
+	out := rewriteLayer(model, op).(*nn.Sequential)
+	return out
+}
+
+func rewriteLayer(l nn.Layer, op *nn.Op) nn.Layer {
+	switch t := l.(type) {
+	case *nn.Sequential:
+		out := nn.NewSequential(t.Name())
+		for _, inner := range t.Layers {
+			out.Add(rewriteLayer(inner, op))
+		}
+		return out
+	case *nn.Residual:
+		return nn.NewResidual(t.Name(), rewriteLayer(t.Main, op), rewriteLayer(t.Shortcut, op))
+	case *nn.Conv2D:
+		// Fresh approximate conv with copied weights. The rng is unused
+		// because the init is immediately overwritten.
+		ac := nn.NewApproxConv2D(t.Name(), t.InC, t.OutC, t.K, t.Stride, t.Pad, op, rand.New(rand.NewSource(0)))
+		copy(ac.Weight.Value.Data, t.Weight.Value.Data)
+		copy(ac.Bias.Value.Data, t.Bias.Value.Data)
+		return ac
+	case *nn.ApproxConv2D:
+		// Already approximate: rebuild with the new op and copied
+		// weights (supports estimator swaps across a whole model).
+		ac := nn.NewApproxConv2D(t.Name(), t.InC, t.OutC, t.K, t.Stride, t.Pad, op, rand.New(rand.NewSource(0)))
+		ac.PerChannel = t.PerChannel
+		copy(ac.Weight.Value.Data, t.Weight.Value.Data)
+		copy(ac.Bias.Value.Data, t.Bias.Value.Data)
+		return ac
+	case *nn.BatchNorm2D:
+		bn := nn.NewBatchNorm2D(t.Name(), t.C)
+		copy(bn.Gamma.Value.Data, t.Gamma.Value.Data)
+		copy(bn.Beta.Value.Data, t.Beta.Value.Data)
+		copy(bn.RunningMean.Data, t.RunningMean.Data)
+		copy(bn.RunningVar.Data, t.RunningVar.Data)
+		return bn
+	case *nn.Linear:
+		ln := nn.NewLinear(t.Name(), t.In, t.Out, rand.New(rand.NewSource(0)))
+		copy(ln.Weight.Value.Data, t.Weight.Value.Data)
+		copy(ln.Bias.Value.Data, t.Bias.Value.Data)
+		return ln
+	case *nn.ReLU:
+		return nn.NewReLU()
+	case *nn.Flatten:
+		return nn.NewFlatten()
+	case *nn.MaxPool2D:
+		return nn.NewMaxPool2D(t.K, t.Stride)
+	case *nn.GlobalAvgPool:
+		return nn.NewGlobalAvgPool()
+	case nn.Identity:
+		return nn.Identity{}
+	default:
+		// Unknown stateless layers pass through shared; unknown
+		// stateful layers would alias, so fail loudly instead.
+		if len(l.Params()) > 0 {
+			panic("models: Approximate cannot rewrite layer type with parameters: " + l.Name())
+		}
+		return l
+	}
+}

@@ -1,0 +1,153 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+func TestApproximateRewritesConvs(t *testing.T) {
+	e, _ := appmult.Lookup("mul7u_rm6")
+	op := nn.STEOp(e.Mult)
+	src := ResNet(18, Config{Classes: 10, InputHW: 16, Width: 0.125, Seed: 3})
+	dst := Approximate(src, op)
+
+	var srcConvs, dstApprox int
+	var walk func(l nn.Layer, f func(nn.Layer))
+	walk = func(l nn.Layer, f func(nn.Layer)) {
+		f(l)
+		switch s := l.(type) {
+		case *nn.Sequential:
+			for _, inner := range s.Layers {
+				walk(inner, f)
+			}
+		case *nn.Residual:
+			walk(s.Main, f)
+			walk(s.Shortcut, f)
+		}
+	}
+	walk(src, func(l nn.Layer) {
+		if _, ok := l.(*nn.Conv2D); ok {
+			srcConvs++
+		}
+	})
+	walk(dst, func(l nn.Layer) {
+		if _, ok := l.(*nn.ApproxConv2D); ok {
+			dstApprox++
+		}
+		if _, ok := l.(*nn.Conv2D); ok {
+			t.Error("float conv survived the rewrite")
+		}
+	})
+	if srcConvs == 0 || dstApprox != srcConvs {
+		t.Fatalf("rewrote %d of %d convs", dstApprox, srcConvs)
+	}
+	if len(dst.Params()) != len(src.Params()) {
+		t.Fatalf("parameter layout changed: %d vs %d", len(dst.Params()), len(src.Params()))
+	}
+}
+
+func TestApproximateCopiesWeightsIndependently(t *testing.T) {
+	e, _ := appmult.Lookup("mul7u_rm6")
+	op := nn.STEOp(e.Mult)
+	src := LeNet(Config{Classes: 4, InputHW: 8, Width: 0.25, Seed: 4})
+	dst := Approximate(src, op)
+
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if sp[i].Name != dp[i].Name {
+			t.Fatalf("param %d name %q vs %q", i, sp[i].Name, dp[i].Name)
+		}
+		for j := range sp[i].Value.Data {
+			if sp[i].Value.Data[j] != dp[i].Value.Data[j] {
+				t.Fatalf("param %s not copied", sp[i].Name)
+			}
+		}
+	}
+	// Mutating the rewrite must not touch the source.
+	dp[0].Value.Data[0] += 42
+	if sp[0].Value.Data[0] == dp[0].Value.Data[0] {
+		t.Error("rewritten model aliases source weights")
+	}
+}
+
+func TestApproximateWithAccurateMultTracksFloatModel(t *testing.T) {
+	// An accurate-multiplier rewrite of a trained float model should
+	// produce nearly identical logits (within quantization error).
+	op := nn.STEOp(appmult.NewAccurate(8))
+	src := LeNet(Config{Classes: 4, InputHW: 8, Width: 0.25, Seed: 5})
+	dst := Approximate(src, op)
+
+	x := tensor.New(2, 3, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i%11)/11 - 0.5
+	}
+	ys := src.Forward(x, false)
+	yd := dst.Forward(x, false)
+	var maxAbs, maxErr float64
+	for i := range ys.Data {
+		if a := math.Abs(float64(ys.Data[i])); a > maxAbs {
+			maxAbs = a
+		}
+		if d := math.Abs(float64(ys.Data[i] - yd.Data[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 0.1*math.Max(maxAbs, 1e-3) {
+		t.Errorf("rewrite deviates %.4f (max logit %.4f)", maxErr, maxAbs)
+	}
+}
+
+func TestApproximateEstimatorSwap(t *testing.T) {
+	// Re-approximating an already-approximate model swaps the op.
+	e, _ := appmult.Lookup("mul6u_rm4")
+	ste := nn.STEOp(e.Mult)
+	diff := nn.DifferenceOp(e.Mult, e.HWS)
+	m1 := LeNet(Config{Classes: 4, InputHW: 8, Width: 0.25, Conv: ApproxConv(ste), Seed: 6})
+	m2 := Approximate(m1, diff)
+	found := false
+	for _, l := range m2.Layers {
+		if ac, ok := l.(*nn.ApproxConv2D); ok {
+			found = true
+			if ac.Op() != diff {
+				t.Error("estimator not swapped")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no approximate convs after swap")
+	}
+}
+
+type statefulStub struct{ p *nn.Param }
+
+func (s statefulStub) Name() string                                        { return "stub" }
+func (s statefulStub) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+func (s statefulStub) Backward(dy *tensor.Tensor) *tensor.Tensor           { return dy }
+func (s statefulStub) Params() []*nn.Param                                 { return []*nn.Param{s.p} }
+
+func TestApproximateRejectsUnknownStatefulLayer(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	op := nn.STEOp(e.Mult)
+	stub := statefulStub{p: &nn.Param{Name: "p", Value: tensor.New(1), Grad: tensor.New(1)}}
+	m := nn.NewSequential("m", stub)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown stateful layer silently aliased")
+		}
+	}()
+	Approximate(m, op)
+}
+
+func TestApproximatePassesUnknownStatelessLayer(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	op := nn.STEOp(e.Mult)
+	m := nn.NewSequential("m", nn.Identity{})
+	out := Approximate(m, op)
+	if len(out.Layers) != 1 {
+		t.Fatal("stateless layer dropped")
+	}
+}

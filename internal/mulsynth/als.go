@@ -1,0 +1,154 @@
+package mulsynth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/appmult/retrain/internal/bitutil"
+	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/tech"
+)
+
+// Substitution records one accepted gate-to-constant rewrite of the
+// approximate-logic-synthesis pass.
+type Substitution struct {
+	// Gate is the rewritten node in the *input* netlist's numbering.
+	Gate circuit.Node
+	// Const is the constant (0 or 1) the gate was replaced with.
+	Const uint8
+	// NMED is the sampled NMED (in percent) after this substitution.
+	NMED float64
+}
+
+// ALSOptions configures ApproxSynth.
+type ALSOptions struct {
+	// NMEDBudget is the maximum allowed NMED in percent (same
+	// normalization as the paper: mean |error| / (2^(2B)-1) * 100).
+	NMEDBudget float64
+	// SampleVectors is the number of uniform random operand pairs used
+	// to score candidate substitutions. Acceptance uses the same
+	// sample; callers wanting exact numbers re-measure the final
+	// netlist exhaustively. Default 2048.
+	SampleVectors int
+	// MaxSubs bounds the number of accepted substitutions (0 = no
+	// bound beyond the budget).
+	MaxSubs int
+	// Seed drives sampling; the pass is deterministic for a fixed
+	// seed. Default 1.
+	Seed int64
+}
+
+func (o *ALSOptions) defaults() {
+	if o.SampleVectors <= 0 {
+		o.SampleVectors = 2048
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// ApproxSynth greedily replaces internal gates of a multiplier netlist
+// with constants while the sampled NMED stays within budget, standing
+// in for the ALSRAC tool the paper uses to produce its "_syn"
+// multipliers. Candidates are scored by error-increase per unit area
+// saved; each round accepts the best-scoring substitution. The returned
+// netlist is pruned; the substitution log refers to the input netlist's
+// node numbering.
+func ApproxSynth(n *circuit.Netlist, bits int, lib *tech.Library, opt ALSOptions) (*circuit.Netlist, []Substitution) {
+	opt.defaults()
+	work := n.Clone()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Fixed operand sample shared by all rounds.
+	nv := uint32(bitutil.NumInputs(bits))
+	ws := make([]uint32, opt.SampleVectors)
+	xs := make([]uint32, opt.SampleVectors)
+	for i := range ws {
+		ws[i] = rng.Uint32() % nv
+		xs[i] = rng.Uint32() % nv
+	}
+	exact := make([]int64, opt.SampleVectors)
+	for i := range exact {
+		exact[i] = int64(ws[i]) * int64(xs[i])
+	}
+	norm := float64(int64(1)<<uint(2*bits) - 1)
+
+	sampleNMED := func(nl *circuit.Netlist) float64 {
+		var sum float64
+		for i := range ws {
+			y := int64(nl.EvaluateUint2(uint64(ws[i]), bits, uint64(xs[i])))
+			sum += float64(bitutil.AbsDiff(y, exact[i]))
+		}
+		return sum / float64(len(ws)) / norm * 100
+	}
+
+	var subs []Substitution
+	for {
+		if opt.MaxSubs > 0 && len(subs) >= opt.MaxSubs {
+			break
+		}
+		// Signal probabilities under the sample, for picking the
+		// replacement constant per gate.
+		ones := make([]int, work.NumGates())
+		vals := make([]uint8, work.NumGates())
+		for i := range ws {
+			work.EvaluateAllInto(vals, uint64(ws[i]), bits, uint64(xs[i]))
+			for g, v := range vals {
+				ones[g] += int(v)
+			}
+		}
+
+		type cand struct {
+			gate  circuit.Node
+			c     uint8
+			nmed  float64
+			score float64
+		}
+		best := cand{score: math.Inf(1)}
+		// Deterministic candidate order.
+		order := candidateGates(work)
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, g := range order {
+			c := uint8(0)
+			if 2*ones[g] >= len(ws) {
+				c = 1
+			}
+			trial := work.Clone()
+			trial.ReplaceWithConst(g, c)
+			nm := sampleNMED(trial)
+			if nm > opt.NMEDBudget {
+				continue
+			}
+			saved := trial.Prune().Area(lib)
+			score := nm + 1e-6 // prefer smaller error...
+			_ = saved
+			// ...but among near-equal errors prefer bigger area
+			// reduction: fold area into the score.
+			score -= (work.Area(lib) - saved) * 1e-4
+			if score < best.score {
+				best = cand{gate: g, c: c, nmed: nm, score: score}
+			}
+		}
+		if math.IsInf(best.score, 1) {
+			break
+		}
+		work.ReplaceWithConst(best.gate, best.c)
+		subs = append(subs, Substitution{Gate: best.gate, Const: best.c, NMED: best.nmed})
+	}
+	return work.Prune(), subs
+}
+
+// candidateGates lists nodes eligible for constant substitution: real
+// cells (not inputs/constants).
+func candidateGates(n *circuit.Netlist) []circuit.Node {
+	var out []circuit.Node
+	for v := 0; v < n.NumGates(); v++ {
+		k := n.Kind(circuit.Node(v))
+		if k == tech.CellInput || k == tech.CellConst {
+			continue
+		}
+		out = append(out, circuit.Node(v))
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package mulsynth
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/bitutil"
+	"github.com/appmult/retrain/internal/circuit"
+)
+
+// BuildRipple constructs the masked multiplier as a classic row-ripple
+// array: partial-product rows are accumulated one after another with
+// ripple-carry adders, the textbook array-multiplier layout. It
+// computes exactly the same function as Build (enforced exhaustively
+// by tests) with a different adder topology, so the two let the
+// characterization flow study how the reduction architecture — not
+// the truncation — shapes delay and power. Under this library's
+// fanout-free unit-delay timing both architectures form long carry
+// chains and land within ~10%% of each other; a real synthesis flow
+// separates them further (the paper's Table I delays reflect Design
+// Compiler's choices). TestReductionArchitecturesDiffer and
+// BenchmarkTableI_Hardware record both.
+//
+// Inputs are declared w0..w(B-1) then x0..x(B-1), as in Build; the
+// function computed is identical (PPMask.Mul plus comp).
+func BuildRipple(name string, mask PPMask, comp uint32) *circuit.Netlist {
+	bits := mask.Bits
+	bitutil.CheckWidth(bits)
+
+	n := circuit.New(name)
+	w := make([]circuit.Node, bits)
+	x := make([]circuit.Node, bits)
+	for i := range w {
+		w[i] = n.Input(fmt.Sprintf("w%d", i))
+	}
+	for j := range x {
+		x[j] = n.Input(fmt.Sprintf("x%d", j))
+	}
+
+	maxSum := uint64(bitutil.Mask(bits))*uint64(bitutil.Mask(bits)) + uint64(comp)
+	outBits := 1
+	for maxSum>>uint(outBits) != 0 {
+		outBits++
+	}
+	if outBits < 2*bits {
+		outBits = 2 * bits
+	}
+
+	// acc holds the running sum, one node per column; nil = known zero.
+	acc := make([]circuit.Node, outBits)
+	for c := range acc {
+		acc[c] = circuit.Invalid
+	}
+	// Seed the accumulator with the compensation constant.
+	for c := 0; c < outBits; c++ {
+		if (comp>>uint(c))&1 == 1 {
+			acc[c] = n.Const(1)
+		}
+	}
+
+	// Add each kept partial-product row with a ripple-carry adder.
+	for i := 0; i < bits; i++ {
+		var rowBits []circuit.Node
+		var rowCols []int
+		for j := 0; j < bits; j++ {
+			if mask.Keep[i][j] {
+				rowBits = append(rowBits, n.And(w[i], x[j]))
+				rowCols = append(rowCols, i+j)
+			}
+		}
+		if len(rowBits) == 0 {
+			continue
+		}
+		carry := circuit.Invalid
+		carryCol := -1
+		for b := 0; b < len(rowBits); b++ {
+			col := rowCols[b]
+			// Propagate any pending carry through skipped columns.
+			for carry != circuit.Invalid && carryCol < col {
+				carry, carryCol = rippleInto(n, acc, carry, carryCol)
+			}
+			addend := rowBits[b]
+			if carry != circuit.Invalid && carryCol == col {
+				// Full add: acc[col] + addend + carry.
+				if acc[col] == circuit.Invalid {
+					s, co := n.HalfAdder(addend, carry)
+					acc[col] = s
+					carry, carryCol = co, col+1
+				} else {
+					s, co := n.FullAdder(acc[col], addend, carry)
+					acc[col] = s
+					carry, carryCol = co, col+1
+				}
+			} else {
+				if acc[col] == circuit.Invalid {
+					acc[col] = addend
+				} else {
+					s, co := n.HalfAdder(acc[col], addend)
+					acc[col] = s
+					carry, carryCol = co, col+1
+				}
+			}
+		}
+		// Flush the final carry.
+		for carry != circuit.Invalid && carryCol < outBits {
+			carry, carryCol = rippleInto(n, acc, carry, carryCol)
+		}
+	}
+
+	for c := 0; c < outBits; c++ {
+		if acc[c] == circuit.Invalid {
+			n.MarkOutput(n.Const(0))
+		} else {
+			n.MarkOutput(acc[c])
+		}
+	}
+	return n.Prune()
+}
+
+// rippleInto adds carry into acc[col], returning the next carry (or
+// Invalid) and its column.
+func rippleInto(n *circuit.Netlist, acc []circuit.Node, carry circuit.Node, col int) (circuit.Node, int) {
+	if col >= len(acc) {
+		return circuit.Invalid, -1
+	}
+	if acc[col] == circuit.Invalid {
+		acc[col] = carry
+		return circuit.Invalid, -1
+	}
+	s, co := n.HalfAdder(acc[col], carry)
+	acc[col] = s
+	return co, col + 1
+}
+
+// FaultImpact ranks every silicon gate of a multiplier netlist by the
+// NMED (in percent) that a stuck-at fault at its output would cause,
+// assessed over a deterministic operand sample. This is the classic
+// testability/criticality view of an approximate circuit: gates whose
+// faults are cheap are exactly the gates approximate synthesis removes
+// first, and the ALS pass's scoring is the budgeted version of this
+// analysis.
+type FaultImpact struct {
+	// Gate is the faulted node.
+	Gate circuit.Node
+	// StuckAt is the injected constant (0 or 1) with the smaller NMED.
+	StuckAt uint8
+	// NMEDPercent is the sampled NMED under that fault.
+	NMEDPercent float64
+}
+
+// FaultSensitivity computes FaultImpact for every gate, ordered as in
+// the netlist. samples uniform random operand pairs (seeded); bits is
+// the operand width of the W-then-X input convention.
+func FaultSensitivity(n *circuit.Netlist, bits, samples int, seed int64) []FaultImpact {
+	if samples <= 0 {
+		samples = 1024
+	}
+	ws, xs := sampleOperands(bits, samples, seed)
+	norm := float64(int64(1)<<uint(2*bits) - 1)
+
+	nmedOf := func(nl *circuit.Netlist) float64 {
+		var sum float64
+		for i := range ws {
+			y := int64(nl.EvaluateUint2(uint64(ws[i]), bits, uint64(xs[i])))
+			sum += float64(bitutil.AbsDiff(y, int64(ws[i])*int64(xs[i])))
+		}
+		return sum / float64(len(ws)) / norm * 100
+	}
+
+	var out []FaultImpact
+	for v := 0; v < n.NumGates(); v++ {
+		node := circuit.Node(v)
+		if !isSiliconGate(n, node) {
+			continue
+		}
+		best := FaultImpact{Gate: node, NMEDPercent: -1}
+		for _, sa := range []uint8{0, 1} {
+			trial := n.Clone()
+			trial.ReplaceWithConst(node, sa)
+			nm := nmedOf(trial)
+			if best.NMEDPercent < 0 || nm < best.NMEDPercent {
+				best.StuckAt = sa
+				best.NMEDPercent = nm
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+func isSiliconGate(n *circuit.Netlist, v circuit.Node) bool {
+	k := n.Kind(v)
+	return k.NumInputs() > 0
+}
+
+func sampleOperands(bits, samples int, seed int64) (ws, xs []uint32) {
+	nv := uint32(bitutil.NumInputs(bits))
+	// Simple deterministic LCG so this file stays independent of
+	// math/rand's generator evolution.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() uint32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return uint32(state >> 33)
+	}
+	ws = make([]uint32, samples)
+	xs = make([]uint32, samples)
+	for i := range ws {
+		ws[i] = next() % nv
+		xs[i] = next() % nv
+	}
+	return ws, xs
+}

@@ -1,0 +1,141 @@
+package mulsynth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/appmult/retrain/internal/bitutil"
+	"github.com/appmult/retrain/internal/tech"
+)
+
+func TestBuildRippleMatchesBehavior(t *testing.T) {
+	cases := []struct {
+		name string
+		bits int
+		mask PPMask
+		comp uint32
+	}{
+		{"acc4", 4, FullMask(4), 0},
+		{"acc5", 5, FullMask(5), 0},
+		{"rm2_4", 4, TruncMask(4, 2), 0},
+		{"rm4_6", 6, TruncMask(6, 4), 0},
+		{"comp", 5, TruncMask(5, 3), 9},
+		{"perf", 4, PerforationMask(4, 2), 0},
+		{"scatter", 5, FullMask(5).Delete(0, 0).Delete(2, 2).Delete(4, 0), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := BuildRipple(c.name, c.mask, c.comp)
+			nv := uint32(bitutil.NumInputs(c.bits))
+			for w := uint32(0); w < nv; w++ {
+				for x := uint32(0); x < nv; x++ {
+					want := c.mask.Mul(w, x, c.comp)
+					got := uint32(n.EvaluateUint2(uint64(w), c.bits, uint64(x)))
+					if got != want {
+						t.Fatalf("ripple(%d,%d) = %d, want %d", w, x, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBuildRippleEquivalentToBuild(t *testing.T) {
+	// The two reduction architectures must compute the same function.
+	f := func(w, x uint8) bool {
+		mask := TruncMask(7, 4)
+		a := Build("a", mask, 0)
+		b := BuildRipple("b", mask, 0)
+		wv, xv := uint64(w)&127, uint64(x)&127
+		return a.EvaluateUint2(wv, 7, xv) == b.EvaluateUint2(wv, 7, xv)
+	}
+	// Build once outside the property for speed.
+	mask := TruncMask(7, 4)
+	a := Build("a", mask, 0)
+	b := BuildRipple("b", mask, 0)
+	f = func(w, x uint8) bool {
+		wv, xv := uint64(w)&127, uint64(x)&127
+		return a.EvaluateUint2(wv, 7, xv) == b.EvaluateUint2(wv, 7, xv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReductionArchitecturesDiffer documents that the two reduction
+// architectures are genuinely different implementations of the same
+// function: distinct gate counts and distinct (positive) critical
+// paths.
+func TestReductionArchitecturesDiffer(t *testing.T) {
+	lib := tech.ASAP7()
+	mask := FullMask(8)
+	comp := Build("comp", mask, 0)
+	ripple := BuildRipple("ripple", mask, 0)
+	dc := comp.CriticalPathPS(lib)
+	dr := ripple.CriticalPathPS(lib)
+	if dc <= 0 || dr <= 0 {
+		t.Fatalf("non-positive delays: %.1f / %.1f", dc, dr)
+	}
+	if dc == dr && comp.NumGates() == ripple.NumGates() {
+		t.Error("architectures indistinguishable; expected different topologies")
+	}
+	t.Logf("delay: compressed %.1f ps, ripple %.1f ps", dc, dr)
+}
+
+func TestFaultSensitivityRanksLowColumnsCheap(t *testing.T) {
+	bits := 5
+	n := BuildAccurate("acc5", bits)
+	impacts := FaultSensitivity(n, bits, 512, 7)
+	if len(impacts) == 0 {
+		t.Fatal("no gates analyzed")
+	}
+	// Every impact is a silicon gate with a finite NMED.
+	var minI, maxI FaultImpact
+	minI.NMEDPercent = 1e9
+	for _, fi := range impacts {
+		if fi.NMEDPercent < 0 {
+			t.Fatalf("negative NMED for gate %d", fi.Gate)
+		}
+		if fi.StuckAt > 1 {
+			t.Fatalf("bad stuck-at value %d", fi.StuckAt)
+		}
+		if fi.NMEDPercent < minI.NMEDPercent {
+			minI = fi
+		}
+		if fi.NMEDPercent > maxI.NMEDPercent {
+			maxI = fi
+		}
+	}
+	// The spread must be real: some gates are nearly free to fault,
+	// others catastrophic.
+	if maxI.NMEDPercent < 10*(minI.NMEDPercent+1e-9) && maxI.NMEDPercent < 1 {
+		t.Errorf("fault impact spread too small: [%v, %v]", minI.NMEDPercent, maxI.NMEDPercent)
+	}
+}
+
+func TestFaultSensitivityDeterministic(t *testing.T) {
+	n := BuildAccurate("acc4", 4)
+	a := FaultSensitivity(n, 4, 256, 3)
+	b := FaultSensitivity(n, 4, 256, 3)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultSensitivityLeavesNetlistIntact(t *testing.T) {
+	bits := 4
+	n := BuildAccurate("acc4", bits)
+	_ = FaultSensitivity(n, bits, 128, 1)
+	for w := uint32(0); w < 16; w++ {
+		for x := uint32(0); x < 16; x++ {
+			if got := uint32(n.EvaluateUint2(uint64(w), bits, uint64(x))); got != w*x {
+				t.Fatalf("analysis mutated the netlist at (%d,%d)", w, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/appmult/retrain/internal/quant"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// ApproxConv2D is the paper's central layer: a 2-D convolution whose
+// multiplications are performed by an approximate multiplier via a
+// product LUT (forward) and whose backward pass uses precomputed
+// gradient LUTs — STE or the proposed difference-based tables,
+// depending on the Op (Fig. 4).
+//
+// Weights and activations are fake-quantized to unsigned B-bit levels
+// with per-tensor affine parameters (Eq. 7); products are dequantized
+// per Eq. (8); parameter updates flow through Eq. (9).
+type ApproxConv2D struct {
+	name           string
+	InC, OutC      int
+	K, Stride, Pad int
+	Weight, Bias   *Param
+	Observer       quant.Observer
+	// PerChannel selects per-output-channel weight quantization
+	// (one scale/zero-point per filter) instead of the paper's
+	// per-tensor scheme — the standard accuracy upgrade for quantized
+	// convolutions, supported because Eq. (8) factors per channel.
+	PerChannel bool
+
+	op *Op
+
+	// Forward caches consumed by Backward.
+	geom         tensor.ConvGeom
+	batch        int
+	xq, wq       []uint8
+	xClip, wClip []bool
+	pw           []quant.Params
+	px           quant.Params
+}
+
+// NewApproxConv2D constructs an approximate convolution using op's
+// multiplier and gradient estimator, with Kaiming-initialized weights.
+func NewApproxConv2D(name string, inC, outC, k, stride, pad int, op *Op, rng *rand.Rand) *ApproxConv2D {
+	c := &ApproxConv2D{
+		name: name, InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: newParam(name+".weight", outC, inC, k, k),
+		Bias:   newParam(name+".bias", outC),
+		op:     op,
+	}
+	c.Weight.Value.KaimingInit(rng, inC*k*k)
+	return c
+}
+
+// Name implements Layer.
+func (c *ApproxConv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *ApproxConv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// Op returns the layer's multiplier/gradient bundle.
+func (c *ApproxConv2D) Op() *Op { return c.op }
+
+// SetOp swaps the multiplier/gradient bundle (e.g. switching the same
+// trained layer between STE and difference-based estimators).
+func (c *ApproxConv2D) SetOp(op *Op) { c.op = op }
+
+// Forward implements Layer.
+func (c *ApproxConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects NCHW with C=%d, got %v", c.name, c.InC, x.Shape))
+	}
+	g := tensor.Geometry(c.InC, x.Shape[2], x.Shape[3], c.OutC, c.K, c.K, c.Stride, c.Pad)
+	c.geom = g
+	c.batch = x.Shape[0]
+
+	if train || !c.Observer.Seen() {
+		c.Observer.Observe(x)
+	}
+	c.px = c.Observer.Params(c.op.Bits)
+	k := g.K()
+	if c.PerChannel {
+		c.pw = c.pw[:0]
+		c.wq = c.wq[:0]
+		c.wClip = c.wClip[:0]
+		for oc := 0; oc < c.OutC; oc++ {
+			slice := tensor.FromData(c.Weight.Value.Data[oc*k:(oc+1)*k], k)
+			p := quant.CalibrateTensor(slice, c.op.Bits)
+			c.pw = append(c.pw, p)
+			q, clip := quantizeWithClip(slice.Data, p)
+			c.wq = append(c.wq, q...)
+			c.wClip = append(c.wClip, clip...)
+		}
+	} else {
+		p := quant.CalibrateTensor(c.Weight.Value, c.op.Bits)
+		c.pw = []quant.Params{p}
+		c.wq, c.wClip = quantizeWithClip(c.Weight.Value.Data, p)
+	}
+
+	cols := tensor.Im2Col(x, g)
+	c.xq, c.xClip = quantizeWithClip(cols.Data, c.px)
+
+	rows := cols.Shape[0]
+	flat := c.op.approxGEMM(c.xq, c.wq, rows, c.OutC, g.K(), c.pw, c.px, c.Bias.Value.Data)
+	return rowsToNCHW(flat, c.batch, g)
+}
+
+// Backward implements Layer.
+func (c *ApproxConv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	g := c.geom
+	dyFlat := nchwToRows(dy, g)
+	rows := dyFlat.Shape[0]
+	k := g.K()
+
+	dw, dxcols := c.op.approxBackward(dyFlat.Data, c.xq, c.wq, c.xClip, c.wClip,
+		rows, c.OutC, k, c.pw, c.px)
+
+	for i, v := range dw {
+		c.Weight.Grad.Data[i] += v
+	}
+	for r := 0; r < rows; r++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			c.Bias.Grad.Data[oc] += dyFlat.Data[r*c.OutC+oc]
+		}
+	}
+	return tensor.Col2Im(tensor.FromData(dxcols, rows, k), c.batch, g)
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/quant"
+)
+
+func TestNewOpBitsMismatchPanics(t *testing.T) {
+	m := appmult.NewAccurate(8)
+	tables := gradient.STE(7)
+	defer func() {
+		if recover() == nil {
+			t.Error("bit-width mismatch accepted")
+		}
+	}()
+	NewOp(m, tables)
+}
+
+func TestOpLabels(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	ste := STEOp(e.Mult)
+	diff := DifferenceOp(e.Mult, 2)
+	if ste.Label == diff.Label {
+		t.Error("estimators share a label")
+	}
+	for _, op := range []*Op{ste, diff} {
+		if op.Bits != 6 || len(op.LUT) != 1<<12 {
+			t.Errorf("%s: bits=%d lut=%d", op.Label, op.Bits, len(op.LUT))
+		}
+	}
+}
+
+// TestApproxGEMMAgainstDirectMath checks the Eq. (8) accumulation in
+// approxGEMM against a literal per-product implementation.
+func TestApproxGEMMAgainstDirectMath(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	op := STEOp(e.Mult)
+	pw := quant.Calibrate(-1, 1, 6)
+	px := quant.Calibrate(0, 2, 6)
+
+	rows, outC, k := 3, 2, 5
+	xq := []uint8{
+		1, 10, 20, 30, 63,
+		0, 0, 0, 0, 0,
+		5, 5, 5, 5, 5,
+	}
+	wq := []uint8{
+		2, 4, 8, 16, 32,
+		63, 1, 63, 1, 63,
+	}
+	bias := []float32{0.25, -0.5}
+	got := op.approxGEMM(xq, wq, rows, outC, k, []quant.Params{pw}, px, bias)
+
+	for r := 0; r < rows; r++ {
+		for oc := 0; oc < outC; oc++ {
+			var want float64
+			for i := 0; i < k; i++ {
+				w := uint32(wq[oc*k+i])
+				x := uint32(xq[r*k+i])
+				y := int64(e.Mult.Mul(w, x))
+				term := float64(pw.Scale) * float64(px.Scale) *
+					float64(y-int64(px.Zero)*int64(w)-int64(pw.Zero)*int64(x)+int64(pw.Zero)*int64(px.Zero))
+				want += term
+			}
+			want += float64(bias[oc])
+			if d := math.Abs(want - float64(got.At(r, oc))); d > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Errorf("gemm[%d][%d] = %v, want %v", r, oc, got.At(r, oc), want)
+			}
+		}
+	}
+}
+
+// TestApproxBackwardAgainstDirectMath checks the Eq. (9) gradient
+// accumulation against a literal implementation.
+func TestApproxBackwardAgainstDirectMath(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	op := DifferenceOp(e.Mult, 2)
+	pw := quant.Calibrate(-1, 1, 6)
+	px := quant.Calibrate(0, 2, 6)
+
+	rows, outC, k := 2, 2, 3
+	xq := []uint8{3, 40, 63, 0, 7, 20}
+	wq := []uint8{10, 20, 30, 5, 60, 1}
+	dy := []float32{1, -0.5, 0.25, 2}
+	noClip := make([]bool, 6)
+
+	dw, dx := op.approxBackward(dy, xq, wq, noClip, noClip, rows, outC, k, []quant.Params{pw}, px)
+
+	for oc := 0; oc < outC; oc++ {
+		for i := 0; i < k; i++ {
+			var want float64
+			for r := 0; r < rows; r++ {
+				gw, _ := op.Grads.At(uint32(wq[oc*k+i]), uint32(xq[r*k+i]))
+				want += float64(dy[r*outC+oc]) * (float64(gw) - float64(px.Zero))
+			}
+			want *= float64(px.Scale)
+			if d := math.Abs(want - float64(dw[oc*k+i])); d > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Errorf("dw[%d][%d] = %v, want %v", oc, i, dw[oc*k+i], want)
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for i := 0; i < k; i++ {
+			var want float64
+			for oc := 0; oc < outC; oc++ {
+				_, gx := op.Grads.At(uint32(wq[oc*k+i]), uint32(xq[r*k+i]))
+				want += float64(dy[r*outC+oc]) * (float64(gx) - float64(pw.Zero))
+			}
+			want *= float64(pw.Scale)
+			if d := math.Abs(want - float64(dx[r*k+i])); d > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Errorf("dx[%d][%d] = %v, want %v", r, i, dx[r*k+i], want)
+			}
+		}
+	}
+}
+
+func TestApproxBackwardClipMasksZeroGradients(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	op := STEOp(e.Mult)
+	pw := quant.Calibrate(-1, 1, 6)
+	px := quant.Calibrate(0, 2, 6)
+	rows, outC, k := 1, 1, 2
+	xq := []uint8{10, 20}
+	wq := []uint8{30, 40}
+	dy := []float32{1}
+	xClip := []bool{true, false}
+	wClip := []bool{false, true}
+	dw, dx := op.approxBackward(dy, xq, wq, xClip, wClip, rows, outC, k, []quant.Params{pw}, px)
+	if dw[1] != 0 {
+		t.Errorf("clipped weight has gradient %v", dw[1])
+	}
+	if dx[0] != 0 {
+		t.Errorf("clipped activation has gradient %v", dx[0])
+	}
+	if dw[0] == 0 || dx[1] == 0 {
+		t.Error("unclipped entries should have nonzero gradients")
+	}
+}
+
+func TestQuantizeWithClip(t *testing.T) {
+	p := quant.Calibrate(-1, 1, 6)
+	q, clip := quantizeWithClip([]float32{-5, 0, 5}, p)
+	if q[0] != 0 || q[2] != uint8(p.QMax()) {
+		t.Errorf("clamped levels: %v", q)
+	}
+	if !clip[0] || clip[1] || !clip[2] {
+		t.Errorf("clip mask: %v", clip)
+	}
+}

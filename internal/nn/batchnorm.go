@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel over (N, H, W) with learnable
+// scale/shift and running statistics for evaluation.
+type BatchNorm2D struct {
+	name     string
+	C        int
+	Eps      float64
+	Momentum float64
+	Gamma    *Param
+	Beta     *Param
+	// Running statistics (not trained by gradient).
+	RunningMean *tensor.Tensor
+	RunningVar  *tensor.Tensor
+
+	// Forward caches.
+	xhat    *tensor.Tensor
+	invStd  []float64
+	inShape []int
+}
+
+// NewBatchNorm2D constructs a batch normalization layer over c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       newParam(name+".gamma", c),
+		Beta:        newParam(name+".beta", c),
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.New(c),
+	}
+	bn.Gamma.Value.Fill(1)
+	bn.RunningVar.Fill(1)
+	return bn
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return b.name }
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != b.C {
+		panic(fmt.Sprintf("nn: %s expects NCHW with C=%d, got %v", b.name, b.C, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := h * w
+	cnt := float64(n * hw)
+	b.inShape = append(b.inShape[:0], x.Shape...)
+
+	out := tensor.New(x.Shape...)
+	b.xhat = tensor.New(x.Shape...)
+	b.invStd = make([]float64, c)
+
+	for ch := 0; ch < c; ch++ {
+		var mean, vr float64
+		if train {
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					mean += float64(x.Data[base+j])
+				}
+			}
+			mean /= cnt
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					d := float64(x.Data[base+j]) - mean
+					vr += d * d
+				}
+			}
+			vr /= cnt
+			m := b.Momentum
+			b.RunningMean.Data[ch] = float32((1-m)*float64(b.RunningMean.Data[ch]) + m*mean)
+			b.RunningVar.Data[ch] = float32((1-m)*float64(b.RunningVar.Data[ch]) + m*vr)
+		} else {
+			mean = float64(b.RunningMean.Data[ch])
+			vr = float64(b.RunningVar.Data[ch])
+		}
+		inv := 1 / math.Sqrt(vr+b.Eps)
+		b.invStd[ch] = inv
+		g := float64(b.Gamma.Value.Data[ch])
+		bt := float64(b.Beta.Value.Data[ch])
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				xh := (float64(x.Data[base+j]) - mean) * inv
+				b.xhat.Data[base+j] = float32(xh)
+				out.Data[base+j] = float32(g*xh + bt)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. It uses the full batch-statistics
+// gradient (the training-mode formula).
+func (b *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, c := b.inShape[0], b.inShape[1]
+	hw := b.inShape[2] * b.inShape[3]
+	cnt := float64(n * hw)
+	dx := tensor.New(b.inShape...)
+
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				g := float64(dy.Data[base+j])
+				sumDy += g
+				sumDyXhat += g * float64(b.xhat.Data[base+j])
+			}
+		}
+		b.Beta.Grad.Data[ch] += float32(sumDy)
+		b.Gamma.Grad.Data[ch] += float32(sumDyXhat)
+
+		gamma := float64(b.Gamma.Value.Data[ch])
+		inv := b.invStd[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				g := float64(dy.Data[base+j])
+				xh := float64(b.xhat.Data[base+j])
+				dx.Data[base+j] = float32(gamma * inv / cnt * (cnt*g - sumDy - xh*sumDyXhat))
+			}
+		}
+	}
+	return dx
+}

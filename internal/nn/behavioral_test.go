@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// TestBehavioralOpMatchesLUTOp: the two forward-simulation styles must
+// be bit-identical — behavioral simulation is just the LUT computed on
+// demand.
+func TestBehavioralOpMatchesLUTOp(t *testing.T) {
+	e, _ := appmult.Lookup("mul7u_rm6")
+	grads := gradient.Difference(e.Mult.Name(), 7, 4, e.Mult.Mul)
+	lutOp := NewOp(e.Mult, grads)
+	behOp := BehavioralOp(e.Mult, grads)
+
+	rng := rand.New(rand.NewSource(51))
+	mkLayer := func(op *Op) *ApproxConv2D {
+		r := rand.New(rand.NewSource(52))
+		return NewApproxConv2D("c", 2, 3, 3, 1, 1, op, r)
+	}
+	a := mkLayer(lutOp)
+	b := mkLayer(behOp)
+	x := tensor.New(2, 2, 6, 6)
+	x.RandNormal(rng, 1)
+
+	ya := a.Forward(x, true)
+	yb := b.Forward(x, true)
+	for i := range ya.Data {
+		if ya.Data[i] != yb.Data[i] {
+			t.Fatalf("behavioral forward diverges from LUT at %d: %v vs %v", i, ya.Data[i], yb.Data[i])
+		}
+	}
+
+	// Backward uses the same gradient tables in both, so gradients must
+	// match too.
+	dy := tensor.New(ya.Shape...)
+	dy.Fill(0.5)
+	dxa := a.Backward(dy)
+	dxb := b.Backward(dy)
+	for i := range dxa.Data {
+		if dxa.Data[i] != dxb.Data[i] {
+			t.Fatalf("behavioral backward diverges at %d", i)
+		}
+	}
+}
+
+func TestBehavioralOpLabel(t *testing.T) {
+	e, _ := appmult.Lookup("mul6u_rm4")
+	op := BehavioralOp(e.Mult, gradient.STE(6))
+	if op.LUT != nil {
+		t.Error("behavioral op should not carry a LUT")
+	}
+	if op.MulFn == nil {
+		t.Error("behavioral op missing MulFn")
+	}
+}
+
+func TestEmptyOpPanics(t *testing.T) {
+	op := &Op{Bits: 6, Grads: gradient.STE(6)}
+	rng := rand.New(rand.NewSource(1))
+	l := NewApproxLinear("l", 2, 2, op, rng)
+	x := tensor.New(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("op without LUT or MulFn accepted")
+		}
+	}()
+	l.Forward(x, true)
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Checkpoint format (little endian):
+//
+//	magic   [8]byte "NNCKPv1\n"
+//	count   uint32
+//	per parameter: nameLen uint16, name, numel uint32, float32 data
+//	crc32   uint32 over everything before it
+//
+// Parameters are matched by position and validated by name and size on
+// load, so a checkpoint written from a float model loads into its
+// approximate twin (which shares parameter layout) as long as layer
+// names line up — the same contract as CopyParams.
+var ckptMagic = [8]byte{'N', 'N', 'C', 'K', 'P', 'v', '1', '\n'}
+
+// SaveParams serializes every parameter value of the model.
+func SaveParams(w io.Writer, model Layer) error {
+	params := model.Params()
+	var buf bytes.Buffer
+	buf.Write(ckptMagic[:])
+	var c [4]byte
+	binary.LittleEndian.PutUint32(c[:], uint32(len(params)))
+	buf.Write(c[:])
+	for _, p := range params {
+		if len(p.Name) > math.MaxUint16 {
+			return fmt.Errorf("nn: parameter name too long: %d bytes", len(p.Name))
+		}
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(p.Name)))
+		buf.Write(l[:])
+		buf.WriteString(p.Name)
+		binary.LittleEndian.PutUint32(c[:], uint32(p.Value.Numel()))
+		buf.Write(c[:])
+		for _, v := range p.Value.Data {
+			binary.LittleEndian.PutUint32(c[:], math.Float32bits(v))
+			buf.Write(c[:])
+		}
+	}
+	binary.LittleEndian.PutUint32(c[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(c[:])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// LoadParams restores parameter values saved by SaveParams into a model
+// with an identical parameter layout. Gradients are left untouched.
+func LoadParams(r io.Reader, model Layer) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("nn: %w", err)
+	}
+	if len(raw) < len(ckptMagic)+8 {
+		return fmt.Errorf("nn: checkpoint too short (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:8], ckptMagic[:]) {
+		return fmt.Errorf("nn: bad checkpoint magic %q", raw[:8])
+	}
+	payload, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sum) {
+		return fmt.Errorf("nn: checkpoint checksum mismatch")
+	}
+	body := payload[8:]
+	count := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	params := model.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for i, p := range params {
+		if len(body) < 2 {
+			return fmt.Errorf("nn: truncated at parameter %d", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < nameLen+4 {
+			return fmt.Errorf("nn: truncated at parameter %d", i)
+		}
+		name := string(body[:nameLen])
+		body = body[nameLen:]
+		if name != p.Name {
+			return fmt.Errorf("nn: parameter %d is %q in checkpoint but %q in model", i, name, p.Name)
+		}
+		numel := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if numel != p.Value.Numel() {
+			return fmt.Errorf("nn: parameter %q has %d values in checkpoint, %d in model", name, numel, p.Value.Numel())
+		}
+		if len(body) < 4*numel {
+			return fmt.Errorf("nn: truncated data for parameter %q", name)
+		}
+		for j := 0; j < numel; j++ {
+			p.Value.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*j:]))
+		}
+		body = body[4*numel:]
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("nn: %d trailing bytes in checkpoint", len(body))
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+func ckptModel(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential("m",
+		NewConv2D("c1", 1, 2, 3, 1, 1, rng),
+		NewBatchNorm2D("bn", 2),
+		NewReLU(),
+		NewFlatten(),
+		NewLinear("fc", 2*4*4, 3, rng),
+	)
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := ckptModel(1)
+	dst := ckptModel(2) // different init
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i) / 16
+	}
+	ys := src.Forward(x, false)
+	yd := dst.Forward(x, false)
+	for i := range ys.Data {
+		if ys.Data[i] != yd.Data[i] {
+			t.Fatalf("restored model diverges at output %d", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsLayoutMismatch(t *testing.T) {
+	src := ckptModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	other := NewSequential("m", NewLinear("fc", 4, 3, rng))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("layout mismatch accepted")
+	}
+
+	renamed := NewSequential("m",
+		NewConv2D("weird", 1, 2, 3, 1, 1, rng),
+		NewBatchNorm2D("bn", 2),
+		NewReLU(),
+		NewFlatten(),
+		NewLinear("fc", 2*4*4, 3, rng),
+	)
+	err := LoadParams(bytes.NewReader(buf.Bytes()), renamed)
+	if err == nil || !strings.Contains(err.Error(), "weird") {
+		t.Errorf("name mismatch not reported: %v", err)
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	src := ckptModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x01
+	if err := LoadParams(bytes.NewReader(bad), ckptModel(1)); err == nil {
+		t.Error("corrupted checkpoint accepted")
+	}
+	if err := LoadParams(bytes.NewReader(raw[:16]), ckptModel(1)); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	if err := LoadParams(bytes.NewReader([]byte("NOTMAGIC....")), ckptModel(1)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// Conv2D is a float 2-D convolution (NCHW, square kernel) realized as
+// im2col + GEMM. It is the exact counterpart the approximate layer is
+// benchmarked against and the layer used during float pre-training.
+type Conv2D struct {
+	name           string
+	InC, OutC      int
+	K, Stride, Pad int
+	Weight, Bias   *Param
+	geom           tensor.ConvGeom
+	cols           *tensor.Tensor // cached im2col of the last forward
+	batch          int
+}
+
+// NewConv2D constructs a convolution with Kaiming-initialized weights.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: newParam(name+".weight", outC, inC, k, k),
+		Bias:   newParam(name+".bias", outC),
+	}
+	c.Weight.Value.KaimingInit(rng, inC*k*k)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+func (c *Conv2D) geometry(x *tensor.Tensor) tensor.ConvGeom {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects NCHW with C=%d, got %v", c.name, c.InC, x.Shape))
+	}
+	return tensor.Geometry(c.InC, x.Shape[2], x.Shape[3], c.OutC, c.K, c.K, c.Stride, c.Pad)
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.geometry(x)
+	c.geom = g
+	c.batch = x.Shape[0]
+	c.cols = tensor.Im2Col(x, g)
+	w2 := c.Weight.Value.Reshape(c.OutC, g.K())
+	flat := tensor.MatMulTransB(c.cols, w2) // (rows, outC)
+	rows := flat.Shape[0]
+	for r := 0; r < rows; r++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			flat.Data[r*c.OutC+oc] += c.Bias.Value.Data[oc]
+		}
+	}
+	return rowsToNCHW(flat, c.batch, g)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	g := c.geom
+	dyFlat := nchwToRows(dy, g) // (rows, outC)
+	// Weight gradient: dW = dyFlatᵀ (outC x rows) * cols (rows x K).
+	dW := tensor.MatMulTransA(dyFlat, c.cols) // (outC, K)
+	c.Weight.Grad.Add(dW.Reshape(c.Weight.Grad.Shape...))
+	// Bias gradient.
+	rows := dyFlat.Shape[0]
+	for r := 0; r < rows; r++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			c.Bias.Grad.Data[oc] += dyFlat.Data[r*c.OutC+oc]
+		}
+	}
+	// Input gradient.
+	w2 := c.Weight.Value.Reshape(c.OutC, g.K())
+	dcols := tensor.MatMul(dyFlat, w2) // (rows, K)
+	return tensor.Col2Im(dcols, c.batch, g)
+}
+
+// rowsToNCHW converts a (N*OH*OW, outC) matrix into NCHW.
+func rowsToNCHW(flat *tensor.Tensor, n int, g tensor.ConvGeom) *tensor.Tensor {
+	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
+	hw := g.OutH * g.OutW
+	for img := 0; img < n; img++ {
+		for p := 0; p < hw; p++ {
+			row := img*hw + p
+			for oc := 0; oc < g.OutC; oc++ {
+				out.Data[(img*g.OutC+oc)*hw+p] = flat.Data[row*g.OutC+oc]
+			}
+		}
+	}
+	return out
+}
+
+// nchwToRows converts NCHW into the (N*OH*OW, outC) row layout.
+func nchwToRows(x *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+	n := x.Shape[0]
+	hw := g.OutH * g.OutW
+	out := tensor.New(n*hw, g.OutC)
+	for img := 0; img < n; img++ {
+		for p := 0; p < hw; p++ {
+			row := img*hw + p
+			for oc := 0; oc < g.OutC; oc++ {
+				out.Data[row*g.OutC+oc] = x.Data[(img*g.OutC+oc)*hw+p]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/appmult/retrain/internal/quant"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// Linear is a fully connected float layer: y = x Wᵀ + b with x of
+// shape (N, in) and W of shape (out, in).
+type Linear struct {
+	name    string
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+	x       *tensor.Tensor
+}
+
+// NewLinear constructs a fully connected layer with Kaiming init.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		name: name, In: in, Out: out,
+		Weight: newParam(name+".weight", out, in),
+		Bias:   newParam(name+".bias", out),
+	}
+	l.Weight.Value.KaimingInit(rng, in)
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+func (l *Linear) check(x *tensor.Tensor) {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.name, l.In, x.Shape))
+	}
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.check(x)
+	l.x = x
+	out := tensor.MatMulTransB(x, l.Weight.Value)
+	n := x.Shape[0]
+	for i := 0; i < n; i++ {
+		for j := 0; j < l.Out; j++ {
+			out.Data[i*l.Out+j] += l.Bias.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	// dW = dyᵀ x; db = sum dy; dx = dy W.
+	dW := tensor.MatMulTransA(dy, l.x)
+	l.Weight.Grad.Add(dW)
+	n := dy.Shape[0]
+	for i := 0; i < n; i++ {
+		for j := 0; j < l.Out; j++ {
+			l.Bias.Grad.Data[j] += dy.Data[i*l.Out+j]
+		}
+	}
+	return tensor.MatMul(dy, l.Weight.Value)
+}
+
+// ApproxLinear is the fully connected counterpart of ApproxConv2D:
+// the same LUT-based forward and LUT-gradient backward over a (N, in)
+// input. The paper approximates only convolutional layers; this layer
+// exists because the framework supports approximating any GEMM, and it
+// doubles as a small, fast target for gradient-correctness tests.
+type ApproxLinear struct {
+	name     string
+	In, Out  int
+	Weight   *Param
+	Bias     *Param
+	Observer quant.Observer
+	op       *Op
+
+	rows         int
+	xq, wq       []uint8
+	xClip, wClip []bool
+	pw           []quant.Params
+	px           quant.Params
+}
+
+// NewApproxLinear constructs an approximate fully connected layer.
+func NewApproxLinear(name string, in, out int, op *Op, rng *rand.Rand) *ApproxLinear {
+	l := &ApproxLinear{
+		name: name, In: in, Out: out,
+		Weight: newParam(name+".weight", out, in),
+		Bias:   newParam(name+".bias", out),
+		op:     op,
+	}
+	l.Weight.Value.KaimingInit(rng, in)
+	return l
+}
+
+// Name implements Layer.
+func (l *ApproxLinear) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *ApproxLinear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Op returns the layer's multiplier/gradient bundle.
+func (l *ApproxLinear) Op() *Op { return l.op }
+
+// SetOp swaps the multiplier/gradient bundle.
+func (l *ApproxLinear) SetOp(op *Op) { l.op = op }
+
+// Forward implements Layer.
+func (l *ApproxLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.name, l.In, x.Shape))
+	}
+	if train || !l.Observer.Seen() {
+		l.Observer.Observe(x)
+	}
+	l.px = l.Observer.Params(l.op.Bits)
+	p := quant.CalibrateTensor(l.Weight.Value, l.op.Bits)
+	l.pw = []quant.Params{p}
+	l.rows = x.Shape[0]
+	l.xq, l.xClip = quantizeWithClip(x.Data, l.px)
+	l.wq, l.wClip = quantizeWithClip(l.Weight.Value.Data, p)
+	return l.op.approxGEMM(l.xq, l.wq, l.rows, l.Out, l.In, l.pw, l.px, l.Bias.Value.Data)
+}
+
+// Backward implements Layer.
+func (l *ApproxLinear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dw, dx := l.op.approxBackward(dy.Data, l.xq, l.wq, l.xClip, l.wClip,
+		l.rows, l.Out, l.In, l.pw, l.px)
+	for i, v := range dw {
+		l.Weight.Grad.Data[i] += v
+	}
+	for r := 0; r < l.rows; r++ {
+		for j := 0; j < l.Out; j++ {
+			l.Bias.Grad.Data[j] += dy.Data[r*l.Out+j]
+		}
+	}
+	return tensor.FromData(dx, l.rows, l.In)
+}

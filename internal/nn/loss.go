@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (N, C) against integer labels, and the loss gradient w.r.t. the
+// logits (softmax - onehot, scaled by 1/N). It is numerically
+// stabilized by max subtraction.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if len(logits.Shape) != 2 {
+		panic(fmt.Sprintf("nn: loss expects (N,C) logits, got %v", logits.Shape))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(labels), n))
+	}
+	grad := tensor.New(n, c)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		label := labels[i]
+		if label < 0 || label >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, c))
+		}
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - mx))
+		}
+		logSum := math.Log(sum)
+		loss += logSum - float64(row[label]-mx)
+		inv := 1 / float64(n)
+		for j, v := range row {
+			p := math.Exp(float64(v-mx)) / sum
+			g := p * inv
+			if j == label {
+				g -= inv
+			}
+			grad.Data[i*c+j] = float32(g)
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// TopKCorrect counts rows whose label appears in the top-k logits —
+// top-1 and top-5 accuracy both reduce to this.
+func TopKCorrect(logits *tensor.Tensor, labels []int, k int) int {
+	n, c := logits.Shape[0], logits.Shape[1]
+	if k < 1 {
+		panic("nn: k must be positive")
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		target := row[labels[i]]
+		// Count entries strictly greater than the target score; ties
+		// resolve in the label's favor, matching common practice.
+		higher := 0
+		for _, v := range row {
+			if v > target {
+				higher++
+			}
+		}
+		if higher < k {
+			correct++
+		}
+	}
+	return correct
+}

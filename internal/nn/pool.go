@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer with square window and stride.
+type MaxPool2D struct {
+	K, Stride int
+	inShape   []int
+	argmax    []int
+}
+
+// NewMaxPool2D returns a max pooling layer (window k, stride s).
+func NewMaxPool2D(k, s int) *MaxPool2D {
+	if k < 1 || s < 1 {
+		panic("nn: invalid pooling geometry")
+	}
+	return &MaxPool2D{K: k, Stride: s}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", p.K, p.K) }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-p.K)/p.Stride + 1
+	ow := (w-p.K)/p.Stride + 1
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: maxpool output collapses for input %v", x.Shape))
+	}
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	out := tensor.New(n, c, oh, ow)
+	p.argmax = make([]int, out.Numel())
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			in := x.Data[(img*c+ch)*h*w:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := (oy*p.Stride)*w + ox*p.Stride
+					best := in[bestIdx]
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							idx := (oy*p.Stride+ky)*w + ox*p.Stride + kx
+							if in[idx] > best {
+								best = in[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					o := ((img*c+ch)*oh+oy)*ow + ox
+					out.Data[o] = best
+					p.argmax[o] = (img*c+ch)*h*w + bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	for o, src := range p.argmax {
+		dx.Data[src] += dy.Data[o]
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel's spatial map to a single value,
+// producing (N, C, 1, 1) — the ResNet head pooling.
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return "gap" }
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	out := tensor.New(n, c, 1, 1)
+	hw := h * w
+	for i := 0; i < n*c; i++ {
+		var s float64
+		for _, v := range x.Data[i*hw : (i+1)*hw] {
+			s += float64(v)
+		}
+		out.Data[i] = float32(s / float64(hw))
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	h, w := p.inShape[2], p.inShape[3]
+	hw := h * w
+	dx := tensor.New(p.inShape...)
+	inv := 1 / float32(hw)
+	for i := 0; i < p.inShape[0]*p.inShape[1]; i++ {
+		g := dy.Data[i] * inv
+		for j := 0; j < hw; j++ {
+			dx.Data[i*hw+j] = g
+		}
+	}
+	return dx
+}

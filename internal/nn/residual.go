@@ -1,0 +1,47 @@
+package nn
+
+import "github.com/appmult/retrain/internal/tensor"
+
+// Residual computes main(x) + shortcut(x) — the ResNet building block
+// connective. The shortcut is Identity for same-shape blocks or a
+// projection (conv + norm) for dimension changes.
+type Residual struct {
+	name     string
+	Main     Layer
+	Shortcut Layer
+}
+
+// NewResidual constructs a residual connection. A nil shortcut means
+// identity.
+func NewResidual(name string, main, shortcut Layer) *Residual {
+	if shortcut == nil {
+		shortcut = Identity{}
+	}
+	return &Residual{name: name, Main: main, Shortcut: shortcut}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	return append(r.Main.Params(), r.Shortcut.Params()...)
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m := r.Main.Forward(x, train)
+	s := r.Shortcut.Forward(x, train)
+	out := m.Clone()
+	out.Add(s)
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dm := r.Main.Backward(dy)
+	ds := r.Shortcut.Backward(dy)
+	dx := dm.Clone()
+	dx.Add(ds)
+	return dx
+}

@@ -1,0 +1,155 @@
+// Package quant implements the uniform affine (asymmetric) quantization
+// of the paper's Eqs. (7) and (8): float weights and activations are
+// mapped onto unsigned B-bit integers with a scale and zero point, the
+// integer product is computed by an (approximate) multiplier, and the
+// result is dequantized as
+//
+//	y = s_w * s_x * (Y - Z_x*W - Z_w*X + Z_w*Z_x).
+//
+// Calibration follows standard quantization-aware training practice:
+// min/max observers with exponential moving averages for activations,
+// and per-tensor min/max for weights.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/appmult/retrain/internal/bitutil"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// Params is one tensor's quantization mapping onto unsigned B-bit
+// integers: q = round(v/Scale) + Zero, clamped to [0, 2^B-1].
+type Params struct {
+	// Scale is the float step size s (> 0).
+	Scale float32
+	// Zero is the integer zero point Z in [0, 2^B-1].
+	Zero int32
+	// Bits is the operand width B.
+	Bits int
+}
+
+// Calibrate derives quantization parameters covering [mn, mx]. The
+// range is widened to include zero so that zero-padding quantizes
+// exactly to the zero point, as required for padded convolutions.
+func Calibrate(mn, mx float32, bits int) Params {
+	bitutil.CheckWidth(bits)
+	if mn > mx {
+		panic(fmt.Sprintf("quant: empty range [%v, %v]", mn, mx))
+	}
+	if mn > 0 {
+		mn = 0
+	}
+	if mx < 0 {
+		mx = 0
+	}
+	qmax := float32(bitutil.Mask(bits))
+	scale64 := (float64(mx) - float64(mn)) / float64(qmax)
+	if scale64 <= 0 {
+		// Degenerate all-zero tensor: any positive scale works.
+		scale64 = 1
+	}
+	scale := float32(scale64)
+	zero := int32(math.Round(-float64(mn) / scale64))
+	if zero < 0 {
+		zero = 0
+	}
+	if zero > int32(qmax) {
+		zero = int32(qmax)
+	}
+	return Params{Scale: scale, Zero: zero, Bits: bits}
+}
+
+// CalibrateTensor derives parameters covering a tensor's value range.
+func CalibrateTensor(t *tensor.Tensor, bits int) Params {
+	mn, mx := t.MinMax()
+	return Calibrate(mn, mx, bits)
+}
+
+// QMax returns the largest representable integer level, 2^B-1.
+func (p Params) QMax() uint32 { return bitutil.Mask(p.Bits) }
+
+// Quantize maps a float to its integer level with clamping (Eq. 7).
+func (p Params) Quantize(v float32) uint32 {
+	q := int32(math.Round(float64(v/p.Scale))) + p.Zero
+	if q < 0 {
+		return 0
+	}
+	if q > int32(p.QMax()) {
+		return p.QMax()
+	}
+	return uint32(q)
+}
+
+// Dequantize maps an integer level back to float: s*(q - Z).
+func (p Params) Dequantize(q uint32) float32 {
+	return p.Scale * float32(int32(q)-p.Zero)
+}
+
+// FakeQuant rounds a float through the quantization grid
+// (dequantize(quantize(v))), the standard fake-quantization operation.
+func (p Params) FakeQuant(v float32) float32 {
+	return p.Dequantize(p.Quantize(v))
+}
+
+// Clipped reports whether v falls outside the representable range, in
+// which case the straight-through gradient of the rounding is zero.
+func (p Params) Clipped(v float32) bool {
+	q := int32(math.Round(float64(v/p.Scale))) + p.Zero
+	return q < 0 || q > int32(p.QMax())
+}
+
+// QuantizeTensor quantizes a whole tensor into a uint8-per-level slice
+// (levels <= 255 requires Bits <= 8; wider widths use QuantizeTensor16).
+func (p Params) QuantizeTensor(t *tensor.Tensor) []uint8 {
+	if p.Bits > 8 {
+		panic("quant: QuantizeTensor supports Bits <= 8")
+	}
+	out := make([]uint8, t.Numel())
+	for i, v := range t.Data {
+		out[i] = uint8(p.Quantize(v))
+	}
+	return out
+}
+
+// Observer tracks activation ranges across batches with an exponential
+// moving average, the calibration scheme of [19] used by the paper's
+// framework. The zero value is ready to use.
+type Observer struct {
+	// Momentum is the EMA coefficient (default 0.9 when zero).
+	Momentum float32
+	min, max float32
+	seen     bool
+}
+
+// Observe folds one tensor's range into the running estimate.
+func (o *Observer) Observe(t *tensor.Tensor) {
+	mn, mx := t.MinMax()
+	if !o.seen {
+		o.min, o.max = mn, mx
+		o.seen = true
+		return
+	}
+	m := o.Momentum
+	if m == 0 {
+		m = 0.9
+	}
+	o.min = m*o.min + (1-m)*mn
+	o.max = m*o.max + (1-m)*mx
+}
+
+// Seen reports whether any batch has been observed.
+func (o *Observer) Seen() bool { return o.seen }
+
+// Range returns the current min/max estimate.
+func (o *Observer) Range() (mn, mx float32) { return o.min, o.max }
+
+// Params derives quantization parameters from the observed range.
+func (o *Observer) Params(bits int) Params {
+	if !o.seen {
+		// A sane default before the first observation.
+		return Calibrate(-1, 1, bits)
+	}
+	return Calibrate(o.min, o.max, bits)
+}

@@ -1,0 +1,171 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+func TestCalibrateBasics(t *testing.T) {
+	p := Calibrate(-1, 1, 8)
+	if p.Bits != 8 || p.Scale <= 0 {
+		t.Fatalf("bad params: %+v", p)
+	}
+	// Zero must quantize exactly to the zero point.
+	if p.Quantize(0) != uint32(p.Zero) {
+		t.Errorf("Quantize(0) = %d, zero point %d", p.Quantize(0), p.Zero)
+	}
+	if p.Dequantize(uint32(p.Zero)) != 0 {
+		t.Errorf("Dequantize(Z) = %v", p.Dequantize(uint32(p.Zero)))
+	}
+}
+
+func TestCalibratePositiveOnlyRangeIncludesZero(t *testing.T) {
+	// ReLU activations are in [0, mx]; zero must stay representable.
+	p := Calibrate(0.5, 4.0, 7)
+	if p.Zero != 0 {
+		t.Errorf("positive-only range: zero point %d, want 0", p.Zero)
+	}
+	if p.Quantize(0) != 0 {
+		t.Errorf("Quantize(0) = %d", p.Quantize(0))
+	}
+}
+
+func TestCalibrateNegativeOnlyRange(t *testing.T) {
+	p := Calibrate(-4, -1, 8)
+	if p.Quantize(0) != p.QMax() {
+		t.Errorf("negative-only range: Quantize(0) = %d, want %d", p.Quantize(0), p.QMax())
+	}
+}
+
+func TestCalibrateDegenerate(t *testing.T) {
+	p := Calibrate(0, 0, 8)
+	if p.Scale <= 0 {
+		t.Errorf("degenerate calibration produced scale %v", p.Scale)
+	}
+	if p.Quantize(0) != uint32(p.Zero) {
+		t.Error("zero not representable in degenerate range")
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	p := Calibrate(-1, 1, 8)
+	if p.Quantize(100) != 255 {
+		t.Errorf("overflow not clamped: %d", p.Quantize(100))
+	}
+	if p.Quantize(-100) != 0 {
+		t.Errorf("underflow not clamped: %d", p.Quantize(-100))
+	}
+	if !p.Clipped(100) || !p.Clipped(-100) || p.Clipped(0.5) {
+		t.Error("Clipped misreports")
+	}
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	// |FakeQuant(v) - v| <= Scale/2 for in-range v: the defining
+	// property of round-to-nearest uniform quantization.
+	p := Calibrate(-2, 2, 7)
+	f := func(raw int16) bool {
+		v := float32(raw) / float32(math.MaxInt16) * 2 // in [-2, 2]
+		fq := p.FakeQuant(v)
+		return math.Abs(float64(fq-v)) <= float64(p.Scale)/2+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeMonotone(t *testing.T) {
+	p := Calibrate(-3, 5, 6)
+	f := func(a, b int16) bool {
+		va := float32(a) / 1000
+		vb := float32(b) / 1000
+		if va > vb {
+			va, vb = vb, va
+		}
+		return p.Quantize(va) <= p.Quantize(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEq8DequantIdentity(t *testing.T) {
+	// The paper's Eq. (8) product dequantization must recover the float
+	// product of the fake-quantized inputs when the multiplier is
+	// accurate: s_w s_x (WX - Z_x W - Z_w X + Z_w Z_x)
+	//         = [s_w (W - Z_w)] * [s_x (X - Z_x)].
+	pw := Calibrate(-0.8, 0.9, 7)
+	px := Calibrate(0, 3.1, 7)
+	for _, w := range []float32{-0.8, -0.2, 0, 0.33, 0.9} {
+		for _, x := range []float32{0, 0.5, 1.7, 3.1} {
+			W := pw.Quantize(w)
+			X := px.Quantize(x)
+			Y := W * X // accurate integer multiplier
+			lhs := pw.Scale * px.Scale * float32(int64(Y)-int64(px.Zero)*int64(W)-int64(pw.Zero)*int64(X)+int64(pw.Zero)*int64(px.Zero))
+			rhs := pw.Dequantize(W) * px.Dequantize(X)
+			if math.Abs(float64(lhs-rhs)) > 1e-5 {
+				t.Fatalf("Eq.(8) identity violated at (%v,%v): %v vs %v", w, x, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestQuantizeTensor(t *testing.T) {
+	x := tensor.FromData([]float32{-1, 0, 3}, 3)
+	p := CalibrateTensor(x, 8)
+	q := p.QuantizeTensor(x)
+	if len(q) != 3 {
+		t.Fatalf("len %d", len(q))
+	}
+	if q[0] != 0 || q[2] != 255 {
+		t.Errorf("endpoints: %v", q)
+	}
+	if q[1] != uint8(p.Zero) {
+		t.Errorf("zero maps to %d, zero point %d", q[1], p.Zero)
+	}
+}
+
+func TestObserverEMA(t *testing.T) {
+	var o Observer
+	if o.Seen() {
+		t.Error("fresh observer claims to have seen data")
+	}
+	o.Observe(tensor.FromData([]float32{-1, 1}, 2))
+	mn, mx := o.Range()
+	if mn != -1 || mx != 1 {
+		t.Fatalf("first observation not adopted: %v %v", mn, mx)
+	}
+	// Second observation moves the range by (1-momentum) of the delta.
+	o.Observe(tensor.FromData([]float32{-3, 2}, 2))
+	mn, mx = o.Range()
+	wantMin := float32(0.9*-1 + 0.1*-3)
+	wantMax := float32(0.9*1 + 0.1*2)
+	if math.Abs(float64(mn-wantMin)) > 1e-6 || math.Abs(float64(mx-wantMax)) > 1e-6 {
+		t.Errorf("EMA range (%v,%v), want (%v,%v)", mn, mx, wantMin, wantMax)
+	}
+}
+
+func TestObserverDefaultParams(t *testing.T) {
+	var o Observer
+	p := o.Params(8)
+	if p.Scale <= 0 {
+		t.Error("unseen observer produced invalid params")
+	}
+	o.Observe(tensor.FromData([]float32{0, 6}, 2))
+	p = o.Params(8)
+	if p.Quantize(6) != 255 {
+		t.Errorf("observed max does not hit top level: %d", p.Quantize(6))
+	}
+}
+
+func TestCalibrateRejectsEmptyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted range accepted")
+		}
+	}()
+	Calibrate(2, 1, 8)
+}

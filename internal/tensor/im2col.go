@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes one 2-D convolution's geometry. Input tensors are
+// NCHW; weights are (outC, inC, kH, kW).
+type ConvGeom struct {
+	InC, InH, InW int
+	OutC, KH, KW  int
+	Stride, Pad   int
+	OutH, OutW    int
+}
+
+// Geometry computes output sizes for a convolution and validates them.
+func Geometry(inC, inH, inW, outC, kh, kw, stride, pad int) ConvGeom {
+	if stride < 1 || pad < 0 || kh < 1 || kw < 1 {
+		panic("tensor: invalid convolution geometry")
+	}
+	outH := (inH+2*pad-kh)/stride + 1
+	outW := (inW+2*pad-kw)/stride + 1
+	if outH < 1 || outW < 1 {
+		panic(fmt.Sprintf("tensor: convolution output collapses: in %dx%d k %dx%d stride %d pad %d", inH, inW, kh, kw, stride, pad))
+	}
+	return ConvGeom{InC: inC, InH: inH, InW: inW, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad, OutH: outH, OutW: outW}
+}
+
+// K returns the contraction length inC*kH*kW.
+func (g ConvGeom) K() int { return g.InC * g.KH * g.KW }
+
+// Im2Col expands one NCHW input batch into the (N*outH*outW, K)
+// patch matrix such that convolution becomes patches x weightsᵀ.
+// Padding positions are zero.
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	n := x.Shape[0]
+	rows := n * g.OutH * g.OutW
+	k := g.K()
+	out := New(rows, k)
+	chw := g.InC * g.InH * g.InW
+	ParallelRows(n, func(lo, hi int) {
+		for img := lo; img < hi; img++ {
+			base := img * chw
+			for oy := 0; oy < g.OutH; oy++ {
+				for ox := 0; ox < g.OutW; ox++ {
+					row := ((img*g.OutH+oy)*g.OutW + ox) * k
+					col := 0
+					for c := 0; c < g.InC; c++ {
+						cbase := base + c*g.InH*g.InW
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride - g.Pad + ky
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride - g.Pad + kx
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									out.Data[row+col] = x.Data[cbase+iy*g.InW+ix]
+								}
+								col++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Col2Im scatters a patch-matrix gradient (N*outH*outW, K) back into an
+// NCHW input gradient, accumulating overlaps — the adjoint of Im2Col.
+func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
+	k := g.K()
+	if cols.Shape[0] != n*g.OutH*g.OutW || cols.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match geometry", cols.Shape))
+	}
+	out := New(n, g.InC, g.InH, g.InW)
+	chw := g.InC * g.InH * g.InW
+	// Parallel over images: each image's scatter touches only its own
+	// output region, so no synchronization is needed.
+	ParallelRows(n, func(lo, hi int) {
+		for img := lo; img < hi; img++ {
+			base := img * chw
+			for oy := 0; oy < g.OutH; oy++ {
+				for ox := 0; ox < g.OutW; ox++ {
+					row := ((img*g.OutH+oy)*g.OutW + ox) * k
+					col := 0
+					for c := 0; c < g.InC; c++ {
+						cbase := base + c*g.InH*g.InW
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride - g.Pad + ky
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride - g.Pad + kx
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									out.Data[cbase+iy*g.InW+ix] += cols.Data[row+col]
+								}
+								col++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul returns A (m x k) times B (k x n) as a new (m x n) tensor,
+// parallelized across row blocks. It is the GEMM under the float
+// convolution and linear layers.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			or := out.Data[i*n : (i+1)*n]
+			for p, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Data[p*n : (p+1)*n]
+				for j, bv := range br {
+					or[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransB returns A (m x k) times Bᵀ where B is (n x k): a fused
+// kernel for backward passes that avoids materializing the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransB needs 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %v x %v^T", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			or := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				br := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p := range ar {
+					s += ar[p] * br[p]
+				}
+				or[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransA returns Aᵀ times B where A is (k x m) and B is (k x n),
+// producing (m x n). Used for weight gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransA needs 2-D operands")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer dimensions differ: %v^T x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			or := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				br := b.Data[p*n : (p+1)*n]
+				for j, bv := range br {
+					or[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// parallelRows splits [0, m) across workers and runs fn on each chunk.
+// Small row counts run inline to avoid goroutine overhead.
+func parallelRows(m int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m < 16 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRows exposes the worker-splitting helper for other packages
+// (the approximate convolution uses it for its LUT-gather inner loop).
+func ParallelRows(m int, fn func(lo, hi int)) { parallelRows(m, fn) }

@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelRowsCoversEveryRowOnce(t *testing.T) {
+	f := func(n uint8) bool {
+		m := int(n%200) + 1
+		var mu sync.Mutex
+		seen := make([]int, m)
+		ParallelRows(m, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelRowsZero(t *testing.T) {
+	called := false
+	ParallelRows(0, func(lo, hi int) {
+		if lo != hi {
+			called = true
+		}
+	})
+	if called {
+		t.Error("zero rows produced a non-empty chunk")
+	}
+}
+
+func TestMatMulEmptyContractionless(t *testing.T) {
+	// 1x1 edge case.
+	a := FromData([]float32{3}, 1, 1)
+	b := FromData([]float32{4}, 1, 1)
+	if got := MatMul(a, b).Data[0]; got != 12 {
+		t.Errorf("1x1 MatMul = %v", got)
+	}
+}
+
+func TestMatMulZeroSkipping(t *testing.T) {
+	// The kernel skips zero entries in A as an optimization; the result
+	// must still be exact.
+	a := FromData([]float32{0, 2, 0, 0, 0, 3}, 2, 3)
+	b := FromData([]float32{1, 1, 10, 10, 100, 100}, 3, 2)
+	got := MatMul(a, b)
+	want := []float32{20, 20, 300, 300}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got.Data[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package tensor provides the dense float32 tensor underlying the
+// neural-network substrate: shape algebra, elementwise and reduction
+// operations, random initialization, and the im2col/GEMM kernels used
+// by the convolution layers.
+//
+// It replaces the role PyTorch plays in the paper's framework; only the
+// operations the retraining experiments need are implemented, but those
+// are implemented carefully (parallel GEMM, O(1)-allocation iteration).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	// Shape holds the dimension sizes, outermost first.
+	Shape []int
+	// Data is the row-major backing slice, of length Numel().
+	Data []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromData wraps an existing slice (not copied) in a tensor of the
+// given shape. The slice length must equal the shape's element count.
+func FromData(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Numel returns the total element count.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view sharing t's data with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d)", t.Shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at a multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set writes the element at a multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong arity for shape %v", idx, t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Add accumulates o into t elementwise. Shapes must match exactly.
+func (t *Tensor) Add(o *Tensor) {
+	t.checkSame(o)
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// AddScaled accumulates s*o into t elementwise.
+func (t *Tensor) AddScaled(o *Tensor, s float32) {
+	t.checkSame(o)
+	for i, v := range o.Data {
+		t.Data[i] += s * v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// MulElem multiplies t elementwise by o.
+func (t *Tensor) MulElem(o *Tensor) {
+	t.checkSame(o)
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+}
+
+func (t *Tensor) checkSame(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: size mismatch %v vs %v", t.Shape, o.Shape))
+	}
+}
+
+// MinMax returns the smallest and largest elements.
+func (t *Tensor) MinMax() (mn, mx float32) {
+	mn, mx = t.Data[0], t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// Sum returns the sum of all elements in float64 for stability.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsMax returns the largest |element|.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// RandNormal fills t with N(0, std) samples from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// KaimingInit fills t with He-normal initialization for a layer with
+// the given fan-in, the standard initialization for ReLU networks.
+func (t *Tensor) KaimingInit(rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t.RandNormal(rng, std)
+}

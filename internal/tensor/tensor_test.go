@@ -1,0 +1,348 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Numel() != 24 {
+		t.Fatalf("Numel = %d", x.Numel())
+	}
+	x.Set(5, 1, 2, 3)
+	if x.At(1, 2, 3) != 5 {
+		t.Error("Set/At round trip failed")
+	}
+	if x.Data[1*12+2*4+3] != 5 {
+		t.Error("row-major layout violated")
+	}
+	if x.Dim(1) != 3 {
+		t.Errorf("Dim(1) = %d", x.Dim(1))
+	}
+}
+
+func TestFromDataAndReshape(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	x := FromData(d, 2, 3)
+	r := x.Reshape(3, 2)
+	if r.At(2, 1) != 6 {
+		t.Error("reshape changed layout")
+	}
+	r.Set(99, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Error("reshape should share data")
+	}
+	c := x.Clone()
+	c.Set(-1, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Error("clone shares data")
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero dim", func() { New(2, 0) })
+	mustPanic("empty shape", func() { New() })
+	mustPanic("FromData mismatch", func() { FromData([]float32{1}, 2) })
+	mustPanic("bad reshape", func() { New(4).Reshape(3) })
+	x := New(2, 2)
+	mustPanic("index arity", func() { x.At(1) })
+	mustPanic("index range", func() { x.At(2, 0) })
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromData([]float32{1, 2, 3}, 3)
+	b := FromData([]float32{4, 5, 6}, 3)
+	a.Add(b)
+	if a.Data[0] != 5 || a.Data[2] != 9 {
+		t.Errorf("Add: %v", a.Data)
+	}
+	a.AddScaled(b, -1)
+	if a.Data[0] != 1 || a.Data[2] != 3 {
+		t.Errorf("AddScaled: %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[1] != 4 {
+		t.Errorf("Scale: %v", a.Data)
+	}
+	a.MulElem(b)
+	if a.Data[0] != 8 {
+		t.Errorf("MulElem: %v", a.Data)
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Error("Zero failed")
+	}
+	a.Fill(3)
+	if a.Sum() != 9 {
+		t.Error("Fill failed")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromData([]float32{-5, 2, 3}, 3)
+	mn, mx := x.MinMax()
+	if mn != -5 || mx != 3 {
+		t.Errorf("MinMax = %v,%v", mn, mx)
+	}
+	if x.AbsMax() != 5 {
+		t.Errorf("AbsMax = %v", x.AbsMax())
+	}
+	if x.Sum() != 0 {
+		t.Errorf("Sum = %v", x.Sum())
+	}
+}
+
+func TestKaimingInitStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(10000)
+	x.KaimingInit(rng, 50)
+	var mean, varr float64
+	for _, v := range x.Data {
+		mean += float64(v)
+	}
+	mean /= float64(x.Numel())
+	for _, v := range x.Data {
+		d := float64(v) - mean
+		varr += d * d
+	}
+	varr /= float64(x.Numel())
+	wantStd := math.Sqrt(2.0 / 50)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(varr)-wantStd) > 0.01 {
+		t.Errorf("std = %v, want %v", math.Sqrt(varr), wantStd)
+	}
+}
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func randT(rng *rand.Rand, shape ...int) *Tensor {
+	x := New(shape...)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 33}, {64, 32, 16}} {
+		a := randT(rng, dims[0], dims[1])
+		b := randT(rng, dims[1], dims[2])
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		for i := range got.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+				t.Fatalf("dims %v: MatMul diverges at %d: %v vs %v", dims, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randT(rng, 7, 5)
+	b := randT(rng, 9, 5) // MatMulTransB: a (7x5) * b^T (5x9)
+	got := MatMulTransB(a, b)
+	bt := New(5, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(b.At(i, j), j, i)
+		}
+	}
+	want := naiveMatMul(a, bt)
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("MatMulTransB diverges at %d", i)
+		}
+	}
+
+	c := randT(rng, 6, 4) // MatMulTransA: c^T (4x6) * d (6x3)
+	d := randT(rng, 6, 3)
+	got2 := MatMulTransA(c, d)
+	ct := New(4, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			ct.Set(c.At(i, j), j, i)
+		}
+	}
+	want2 := naiveMatMul(ct, d)
+	for i := range got2.Data {
+		if math.Abs(float64(got2.Data[i]-want2.Data[i])) > 1e-4 {
+			t.Fatalf("MatMulTransA diverges at %d", i)
+		}
+	}
+}
+
+func TestMatMulShapeChecks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inner-dim mismatch accepted")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestGeometry(t *testing.T) {
+	g := Geometry(3, 32, 32, 16, 3, 3, 1, 1)
+	if g.OutH != 32 || g.OutW != 32 {
+		t.Errorf("same-pad geometry: %dx%d", g.OutH, g.OutW)
+	}
+	g2 := Geometry(3, 32, 32, 16, 2, 2, 2, 0)
+	if g2.OutH != 16 || g2.OutW != 16 {
+		t.Errorf("stride-2 geometry: %dx%d", g2.OutH, g2.OutW)
+	}
+	if g.K() != 27 {
+		t.Errorf("K = %d", g.K())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("collapsing geometry accepted")
+		}
+	}()
+	Geometry(1, 2, 2, 1, 5, 5, 1, 0)
+}
+
+// naiveConv computes a direct convolution for cross-checking im2col.
+func naiveConv(x, w *Tensor, g ConvGeom) *Tensor {
+	n := x.Shape[0]
+	out := New(n, g.OutC, g.OutH, g.OutW)
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < g.OutC; oc++ {
+			for oy := 0; oy < g.OutH; oy++ {
+				for ox := 0; ox < g.OutW; ox++ {
+					var s float32
+					for c := 0; c < g.InC; c++ {
+						for ky := 0; ky < g.KH; ky++ {
+							for kx := 0; kx < g.KW; kx++ {
+								iy := oy*g.Stride - g.Pad + ky
+								ix := ox*g.Stride - g.Pad + kx
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									s += x.At(img, c, iy, ix) * w.At(oc, c, ky, kx)
+								}
+							}
+						}
+					}
+					out.Set(s, img, oc, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColConvolutionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct{ n, c, h, w, oc, k, stride, pad int }{
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 1, 5, 5, 2, 3, 2, 0},
+		{3, 2, 7, 9, 5, 5, 1, 2},
+	}
+	for _, cse := range cases {
+		g := Geometry(cse.c, cse.h, cse.w, cse.oc, cse.k, cse.k, cse.stride, cse.pad)
+		x := randT(rng, cse.n, cse.c, cse.h, cse.w)
+		wt := randT(rng, cse.oc, cse.c, cse.k, cse.k)
+		cols := Im2Col(x, g)
+		w2 := wt.Reshape(cse.oc, g.K())
+		flat := MatMulTransB(cols, w2) // (N*OH*OW, outC)
+		want := naiveConv(x, wt, g)
+		for img := 0; img < cse.n; img++ {
+			for oc := 0; oc < g.OutC; oc++ {
+				for oy := 0; oy < g.OutH; oy++ {
+					for ox := 0; ox < g.OutW; ox++ {
+						row := (img*g.OutH+oy)*g.OutW + ox
+						got := flat.At(row, oc)
+						if math.Abs(float64(got-want.At(img, oc, oy, ox))) > 1e-3 {
+							t.Fatalf("case %+v: conv mismatch at (%d,%d,%d,%d): %v vs %v",
+								cse, img, oc, oy, ox, got, want.At(img, oc, oy, ox))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> for all x, y — the defining
+	// property of a correct backward pass.
+	rng := rand.New(rand.NewSource(5))
+	g := Geometry(2, 6, 6, 3, 3, 3, 1, 1)
+	n := 2
+	x := randT(rng, n, 2, 6, 6)
+	y := randT(rng, n*g.OutH*g.OutW, g.K())
+	ax := Im2Col(x, g)
+	ay := Col2Im(y, n, g)
+	var lhs, rhs float64
+	for i := range ax.Data {
+		lhs += float64(ax.Data[i]) * float64(y.Data[i])
+	}
+	for i := range x.Data {
+		rhs += float64(x.Data[i]) * float64(ay.Data[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-2*math.Max(1, math.Abs(lhs)) {
+		t.Errorf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestCol2ImShapeCheck(t *testing.T) {
+	g := Geometry(1, 4, 4, 1, 3, 3, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad col2im shape accepted")
+		}
+	}()
+	Col2Im(New(3, 3), 1, g)
+}
+
+func TestMatMulLinearityProperty(t *testing.T) {
+	// (A+B)C == AC + BC, checked via quick with small random shapes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randT(rng, m, k)
+		b := randT(rng, m, k)
+		c := randT(rng, k, n)
+		ab := a.Clone()
+		ab.Add(b)
+		lhs := MatMul(ab, c)
+		r1 := MatMul(a, c)
+		r2 := MatMul(b, c)
+		r1.Add(r2)
+		for i := range lhs.Data {
+			if math.Abs(float64(lhs.Data[i]-r1.Data[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+package train
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/data"
+	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/models"
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/optim"
+)
+
+// Scale bundles the experiment size knobs. PaperScale reproduces the
+// published setup; ReducedScale is the CPU-tractable default used by
+// the benchmark harness (see DESIGN.md's substitution table — relative
+// comparisons are preserved, wall-clock is not).
+type Scale struct {
+	// HW is the input resolution; Width the channel multiplier.
+	HW    int
+	Width float64
+	// Train/Test are split sizes; Epochs and BatchSize the training
+	// budget.
+	Train, Test int
+	Epochs      int
+	BatchSize   int
+	// LR0 is the base learning rate for the first schedule stage; the
+	// paper's 1e-3 when zero. Reduced-scale runs train far fewer steps
+	// per epoch, so they use a proportionally larger base rate; the
+	// 1e-3 : 5e-4 : 2.5e-4 stage structure is kept either way.
+	LR0 float64
+}
+
+// Schedule returns the paper's three-stage step schedule scaled to the
+// scale's epoch budget and base rate.
+func (s Scale) Schedule() optim.Schedule {
+	lr0 := s.LR0
+	if lr0 == 0 {
+		lr0 = 1e-3
+	}
+	sched := optim.PaperSchedule(s.Epochs)
+	for i := range sched {
+		sched[i].LR *= lr0 / 1e-3
+	}
+	return sched
+}
+
+// PaperScale is the published configuration (CIFAR-size data, width 1,
+// 30 epochs, batch 64, base LR 1e-3).
+var PaperScale = Scale{HW: 32, Width: 1.0, Train: 50000, Test: 10000, Epochs: 30, BatchSize: 64}
+
+// ReducedScale keeps every code path of the paper's flow while fitting
+// CPU budgets: 16x16 inputs, eighth-width models, 960/240 splits.
+var ReducedScale = Scale{HW: 16, Width: 0.125, Train: 960, Test: 240, Epochs: 9, BatchSize: 32, LR0: 3e-3}
+
+// TinyScale is for tests: minutes of CPU, still end-to-end.
+var TinyScale = Scale{HW: 8, Width: 0.08, Train: 120, Test: 60, Epochs: 6, BatchSize: 20, LR0: 8e-3}
+
+// BuildModel constructs one of the evaluation architectures by name:
+// "lenet", "vgg11", "vgg16", "vgg19", "resnet18", "resnet34",
+// "resnet50".
+func BuildModel(kind string, classes int, sc Scale, conv models.ConvFactory, seed int64) *nn.Sequential {
+	cfg := models.Config{Classes: classes, InputHW: sc.HW, Width: sc.Width, Conv: conv, Seed: seed}
+	switch kind {
+	case "lenet":
+		return models.LeNet(cfg)
+	case "vgg11":
+		return models.VGG(11, cfg)
+	case "vgg16":
+		return models.VGG(16, cfg)
+	case "vgg19":
+		return models.VGG(19, cfg)
+	case "resnet18":
+		return models.ResNet(18, cfg)
+	case "resnet34":
+		return models.ResNet(34, cfg)
+	case "resnet50":
+		return models.ResNet(50, cfg)
+	default:
+		panic(fmt.Sprintf("train: unknown model kind %q", kind))
+	}
+}
+
+// Estimator selects the gradient method for retraining.
+type Estimator int
+
+// The two estimators the paper compares, plus the unsmoothed ablation.
+const (
+	// EstimatorSTE is the baseline of [8]-[13]: accurate-multiplier
+	// gradients (Eq. 3).
+	EstimatorSTE Estimator = iota
+	// EstimatorDifference is the paper's contribution (Eqs. 4-6).
+	EstimatorDifference
+	// EstimatorRawDifference is the smoothing-off ablation: central
+	// differences of the unsmoothed AppMult function.
+	EstimatorRawDifference
+)
+
+// String names the estimator for reports.
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorSTE:
+		return "STE"
+	case EstimatorDifference:
+		return "Ours"
+	case EstimatorRawDifference:
+		return "RawDiff"
+	default:
+		return fmt.Sprintf("Estimator(%d)", int(e))
+	}
+}
+
+// OpFor builds the nn.Op realizing an estimator for a multiplier.
+// hws values below 1 (the registry's "not applicable" marker on
+// accurate multipliers) fall back to 1, where the difference gradient
+// coincides with STE on a linear row.
+func OpFor(m appmult.Multiplier, e Estimator, hws int) *nn.Op {
+	if hws < 1 {
+		hws = 1
+	}
+	if max := gradient.MaxHWS(m.Bits()); hws > max {
+		hws = max
+	}
+	switch e {
+	case EstimatorSTE:
+		return nn.STEOp(m)
+	case EstimatorDifference:
+		return nn.DifferenceOp(m, hws)
+	case EstimatorRawDifference:
+		return nn.NewOp(m, gradient.RawDifference(m.Name(), m.Bits(), m.Mul))
+	default:
+		panic("train: unknown estimator")
+	}
+}
+
+// CompareResult is one Table II row: the reference QAT accuracy with
+// the accurate multiplier, the AppMult model's accuracy before
+// retraining, and the retrained accuracies under each estimator.
+type CompareResult struct {
+	Multiplier string
+	Model      string
+	// RefTop1 is the QAT reference accuracy using the same-width
+	// accurate multiplier.
+	RefTop1 float64
+	// InitialTop1 is the AppMult model's accuracy with QAT weights,
+	// before AppMult-aware retraining.
+	InitialTop1 float64
+	// STE and Ours are the full retraining trajectories.
+	STE, Ours Result
+	// Improve is Ours.FinalTop1() - STE.FinalTop1().
+	Improve float64
+}
+
+// CompareGradients reproduces one Table II row at the given scale:
+// QAT-train a reference model with the accurate multiplier, seed an
+// AppMult twin from its weights, measure initial accuracy, then
+// retrain twice — once with STE gradients, once with difference-based
+// gradients — and report everything.
+func CompareGradients(multName, modelKind string, classes int, sc Scale, seed int64, logf func(string, ...any)) CompareResult {
+	entry, ok := appmult.Lookup(multName)
+	if !ok {
+		panic(fmt.Sprintf("train: unknown multiplier %q", multName))
+	}
+	trainSet, testSet := data.Synthetic(data.SynthConfig{
+		Classes: classes, Train: sc.Train, Test: sc.Test, HW: sc.HW, Seed: seed,
+	})
+	cfg := Config{Epochs: sc.Epochs, BatchSize: sc.BatchSize, Schedule: sc.Schedule(), Seed: seed, Logf: logf}
+
+	// Reference: QAT with the accurate multiplier of the same width.
+	accOp := nn.STEOp(appmult.NewAccurate(entry.Mult.Bits()))
+	ref := BuildModel(modelKind, classes, sc, models.ApproxConv(accOp), seed)
+	if logf != nil {
+		logf("[%s/%s] QAT reference training", multName, modelKind)
+	}
+	refRes := Run(ref, trainSet, testSet, cfg)
+
+	retrain := func(est Estimator) (Result, float64) {
+		op := OpFor(entry.Mult, est, entry.HWS)
+		m := BuildModel(modelKind, classes, sc, models.ApproxConv(op), seed)
+		nn.CopyParams(m, ref)
+		initial, _ := Evaluate(m, testSet, sc.BatchSize)
+		if logf != nil {
+			logf("[%s/%s] retraining with %s (initial %.2f%%)", multName, modelKind, est, initial)
+		}
+		res := Run(m, trainSet, testSet, cfg)
+		return res, initial
+	}
+	steRes, initial := retrain(EstimatorSTE)
+	oursRes, _ := retrain(EstimatorDifference)
+
+	return CompareResult{
+		Multiplier:  multName,
+		Model:       modelKind,
+		RefTop1:     refRes.FinalTop1(),
+		InitialTop1: initial,
+		STE:         steRes,
+		Ours:        oursRes,
+		Improve:     oursRes.FinalTop1() - steRes.FinalTop1(),
+	}
+}
+
+// SelectHWS reproduces the paper's half-window-size selection: for
+// each candidate, train a LeNet for a few epochs with the
+// difference-based gradient and keep the HWS with the smallest final
+// training loss (Section V-A; the paper uses 5 epochs on CIFAR-10).
+func SelectHWS(m appmult.Multiplier, candidates []int, classes int, sc Scale, seed int64, logf func(string, ...any)) (best int, losses map[int]float64) {
+	if len(candidates) == 0 {
+		candidates = gradient.DefaultHWSCandidates
+	}
+	trainSet, testSet := data.Synthetic(data.SynthConfig{
+		Classes: classes, Train: sc.Train, Test: sc.Test, HW: sc.HW, Seed: seed,
+	})
+	losses = make(map[int]float64)
+	bestLoss := 0.0
+	maxHWS := gradient.MaxHWS(m.Bits())
+	for _, hws := range candidates {
+		if hws < 1 || hws > maxHWS {
+			continue
+		}
+		op := nn.DifferenceOp(m, hws)
+		model := BuildModel("lenet", classes, sc, models.ApproxConv(op), seed)
+		res := Run(model, trainSet, testSet, Config{
+			Epochs: sc.Epochs, BatchSize: sc.BatchSize, Schedule: sc.Schedule(), Seed: seed,
+		})
+		loss := res.FinalLoss()
+		losses[hws] = loss
+		if logf != nil {
+			logf("HWS %2d: final train loss %.4f", hws, loss)
+		}
+		if best == 0 || loss < bestLoss {
+			best, bestLoss = hws, loss
+		}
+	}
+	return best, losses
+}
+
+// SmallScale sits between TinyScale and ReducedScale: the scale the
+// repository's recorded EXPERIMENTS.md sweeps use on a single CPU
+// (roughly two minutes per Table II row).
+var SmallScale = Scale{HW: 12, Width: 0.15, Train: 480, Test: 160, Epochs: 8, BatchSize: 24, LR0: 5e-3}
+
+// ScaleByName maps the cmd-line scale names to configurations.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "paper":
+		return PaperScale, nil
+	case "reduced":
+		return ReducedScale, nil
+	case "small":
+		return SmallScale, nil
+	case "tiny":
+		return TinyScale, nil
+	default:
+		return Scale{}, fmt.Errorf("train: unknown scale %q (paper|reduced|small|tiny)", name)
+	}
+}
+
+// TableII runs the full Table II sweep: every multiplier against every
+// model kind, sharing one QAT reference per (model, bit-width) pair —
+// the references do not depend on the approximate multiplier, only on
+// its width, so retraining all rows reuses them.
+func TableII(multNames, modelKinds []string, classes int, sc Scale, seed int64, logf func(string, ...any)) []CompareResult {
+	trainSet, testSet := data.Synthetic(data.SynthConfig{
+		Classes: classes, Train: sc.Train, Test: sc.Test, HW: sc.HW, Seed: seed,
+	})
+	cfg := Config{Epochs: sc.Epochs, BatchSize: sc.BatchSize, Schedule: sc.Schedule(), Seed: seed, Logf: logf}
+
+	type refKey struct {
+		model string
+		bits  int
+	}
+	refs := make(map[refKey]*refEntry)
+	getRef := func(model string, bits int) *refEntry {
+		k := refKey{model, bits}
+		if r, ok := refs[k]; ok {
+			return r
+		}
+		if logf != nil {
+			logf("[ref] QAT training %s with %d-bit accurate multiplier", model, bits)
+		}
+		accOp := nn.STEOp(appmult.NewAccurate(bits))
+		m := BuildModel(model, classes, sc, models.ApproxConv(accOp), seed)
+		res := Run(m, trainSet, testSet, cfg)
+		r := &refEntry{model: m, top1: res.FinalTop1()}
+		refs[k] = r
+		return r
+	}
+
+	var out []CompareResult
+	for _, mk := range modelKinds {
+		for _, mn := range multNames {
+			entry, ok := appmult.Lookup(mn)
+			if !ok {
+				panic(fmt.Sprintf("train: unknown multiplier %q", mn))
+			}
+			ref := getRef(mk, entry.Mult.Bits())
+			retrain := func(est Estimator) (Result, float64) {
+				op := OpFor(entry.Mult, est, entry.HWS)
+				m := BuildModel(mk, classes, sc, models.ApproxConv(op), seed)
+				nn.CopyParams(m, ref.model)
+				initial, _ := Evaluate(m, testSet, sc.BatchSize)
+				if logf != nil {
+					logf("[%s/%s] retraining with %s (initial %.2f%%)", mn, mk, est, initial)
+				}
+				return Run(m, trainSet, testSet, cfg), initial
+			}
+			steRes, initial := retrain(EstimatorSTE)
+			oursRes, _ := retrain(EstimatorDifference)
+			out = append(out, CompareResult{
+				Multiplier:  mn,
+				Model:       mk,
+				RefTop1:     ref.top1,
+				InitialTop1: initial,
+				STE:         steRes,
+				Ours:        oursRes,
+				Improve:     oursRes.FinalTop1() - steRes.FinalTop1(),
+			})
+			if logf != nil {
+				last := out[len(out)-1]
+				logf("[%s/%s] done: init %.2f ste %.2f ours %.2f improve %.2f",
+					mn, mk, last.InitialTop1, last.STE.FinalTop1(), last.Ours.FinalTop1(), last.Improve)
+			}
+		}
+	}
+	return out
+}
+
+// refEntry caches one QAT reference model and its accuracy.
+type refEntry struct {
+	model *nn.Sequential
+	top1  float64
+}
