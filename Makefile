@@ -1,0 +1,23 @@
+# Tier-1: the gate every change must pass.
+.PHONY: build test tier1 vet race verify clean
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+tier1: build test
+
+vet:
+	go vet ./...
+
+# The robustness-critical packages get a -race pass: the guarded train
+# loop, the retrying data pipeline, and the fault injector.
+race:
+	go test -race -count=1 ./internal/train/ ./internal/data/ ./internal/faults/
+
+verify: vet tier1 race
+
+clean:
+	go clean ./...

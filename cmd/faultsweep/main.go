@@ -1,0 +1,181 @@
+// Command faultsweep measures how a retrained AppMult model degrades
+// when hardware faults corrupt the multiplier's product LUT — stuck
+// cells and bit flips in the accelerator's table memory — and how much
+// of that loss guarded retraining recovers. It trains one model with
+// the healthy multiplier, then sweeps fault rates with a seeded,
+// reproducible fault model (see internal/faults):
+//
+//	faultsweep -mult mul8u_rm8 -model lenet -scale tiny \
+//	    -kind bitflip -rates 0,0.0001,0.001,0.01,0.1 -trials 3
+//
+// With -retrain, each fault point additionally retrains under the
+// faulty LUT (gradient guards absorb any poisoned steps) and reports
+// the recovered accuracy; -gradrate also injects faults into the
+// gradient tables, exercising the train package's NaN/Inf guards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/data"
+	"github.com/appmult/retrain/internal/faults"
+	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/models"
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/report"
+	"github.com/appmult/retrain/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultsweep: ")
+	var (
+		mult      = flag.String("mult", "mul8u_rm8", "approximate multiplier name (see amchar for the list)")
+		modelKind = flag.String("model", "lenet", "model kind: lenet|vgg11|vgg16|vgg19|resnet18|resnet34|resnet50")
+		classes   = flag.Int("classes", 10, "number of classes (10 = CIFAR-10 stand-in)")
+		scale     = flag.String("scale", "tiny", "experiment scale: paper|reduced|small|tiny")
+		kindF     = flag.String("kind", "bitflip", "fault kind: stuck0|stuck1|bitflip")
+		distF     = flag.String("dist", "uniform", "faulted-bit distribution: uniform|low|high")
+		ratesF    = flag.String("rates", "0,0.0001,0.001,0.01,0.1", "comma-separated LUT fault rates")
+		trials    = flag.Int("trials", 3, "independently seeded fault draws per rate")
+		transient = flag.Bool("transient", false, "resample faults per injection instead of a fixed set")
+		retrainF  = flag.Bool("retrain", false, "also retrain under each faulty LUT and report recovery")
+		gradRate  = flag.Float64("gradrate", 0, "fault rate for the gradient tables during -retrain")
+		seed      = flag.Int64("seed", 1, "experiment seed (drives data, training, and fault draws)")
+		verbose   = flag.Bool("v", false, "log per-epoch progress")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	kind, err := faults.KindByName(*kindF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := faults.DistByName(*distF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := train.ScaleByName(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rates []float64
+	for _, s := range strings.Split(*ratesF, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || r < 0 || r > 1 {
+			log.Fatalf("bad fault rate %q", s)
+		}
+		rates = append(rates, r)
+	}
+	entry, ok := appmult.Lookup(*mult)
+	if !ok {
+		log.Fatalf("unknown multiplier %q", *mult)
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+
+	bits := entry.Mult.Bits()
+	baseLUT := appmult.BuildLUT(entry.Mult)
+	hws := entry.HWS
+	if hws < 1 {
+		hws = 1
+	}
+	grads := gradient.Difference(entry.Mult.Name(), bits, hws, entry.Mult.Mul)
+	trainSet, testSet := data.Synthetic(data.SynthConfig{
+		Classes: *classes, Train: sc.Train, Test: sc.Test, HW: sc.HW, Seed: *seed,
+	})
+	cfg := train.Config{Epochs: sc.Epochs, BatchSize: sc.BatchSize, Schedule: sc.Schedule(), Seed: *seed, Logf: logf}
+
+	log.Printf("training %s with healthy %s (%s scale)", *modelKind, *mult, *scale)
+	healthyOp := &nn.Op{Label: *mult, Bits: bits, LUT: baseLUT, Grads: grads}
+	model := train.BuildModel(*modelKind, *classes, sc, models.ApproxConv(healthyOp), *seed)
+	baseRes := train.Run(model, trainSet, testSet, cfg)
+	baseTop1 := baseRes.FinalTop1()
+	log.Printf("healthy top-1 %.2f%%", baseTop1)
+
+	// twin rebuilds the trained model around an op: weights and layer
+	// state (observers, running stats) transfer, so evaluation differs
+	// only by the LUT under test.
+	twin := func(op *nn.Op) *nn.Sequential {
+		m := train.BuildModel(*modelKind, *classes, sc, models.ApproxConv(op), *seed)
+		nn.CopyParams(m, model)
+		if err := nn.RestoreState(m, nn.CollectState(model)); err != nil {
+			log.Fatalf("state transfer: %v", err)
+		}
+		return m
+	}
+
+	fm := faults.Model{Kind: kind, Dist: dist, Seed: *seed, Transient: *transient}
+	evalPoint := func(lut []uint32, fs []faults.Fault) float64 {
+		op := &nn.Op{Label: *mult + "+faults", Bits: bits, LUT: lut, Grads: grads}
+		top1, _ := train.Evaluate(twin(op), testSet, sc.BatchSize)
+		return top1
+	}
+	points := faults.Sweep(baseLUT, bits, fm, rates, *trials, evalPoint)
+
+	// The retrain sweep re-derives the identical fault sets (same
+	// seeds), so its rows align with the evaluation sweep's.
+	var recovered []faults.SweepPoint
+	var skippedTotal int
+	if *retrainF {
+		gradCounter := 0
+		retrainPoint := func(lut []uint32, fs []faults.Fault) float64 {
+			g := grads
+			if *gradRate > 0 {
+				gradCounter++
+				g, _ = faults.FaultyTables(grads, faults.Model{
+					Kind: kind, Dist: dist, Rate: *gradRate, Seed: *seed + int64(gradCounter)*31,
+				})
+			}
+			op := &nn.Op{Label: *mult + "+faults", Bits: bits, LUT: lut, Grads: g}
+			m := twin(op)
+			rcfg := cfg
+			rcfg.SpikeFactor = 10
+			res := train.Run(m, trainSet, testSet, rcfg)
+			res.InjectedFaults = len(fs)
+			if !res.Healthy() {
+				log.Printf("retrain under %d faults: %d steps skipped, %d rollbacks",
+					len(fs), res.SkippedSteps, res.Rollbacks)
+			}
+			skippedTotal += res.SkippedSteps
+			return res.FinalTop1()
+		}
+		recovered = faults.Sweep(baseLUT, bits, fm, rates, *trials, retrainPoint)
+	}
+
+	header := []string{"rate", "faults", "top1%", "min%", "max%", "drop"}
+	if *retrainF {
+		header = append(header, "retrained%", "recovered")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fault sweep: %s on %s (kind=%s dist=%s trials=%d transient=%v seed=%d, healthy %.2f%%)",
+			*mult, *modelKind, kind, dist, *trials, *transient, *seed, baseTop1),
+		header...,
+	)
+	for i, p := range points {
+		row := []any{
+			fmt.Sprintf("%g", p.Rate), fmt.Sprintf("%.0f", p.MeanFaults),
+			p.MeanTop1, p.MinTop1, p.MaxTop1, baseTop1 - p.MeanTop1,
+		}
+		if *retrainF {
+			row = append(row, recovered[i].MeanTop1, recovered[i].MeanTop1-p.MeanTop1)
+		}
+		t.AddRowf(row...)
+	}
+	if *csv {
+		t.WriteCSV(os.Stdout)
+	} else {
+		t.WriteText(os.Stdout)
+	}
+	if *retrainF && skippedTotal > 0 {
+		fmt.Printf("(%d training steps skipped by gradient guards across all retrains)\n", skippedTotal)
+	}
+}

@@ -52,6 +52,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		verbose = flag.Bool("v", false, "log per-epoch progress")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		ckpt    = flag.String("ckpt", "", "directory for per-phase training checkpoints (enables checkpointing)")
+		resume  = flag.Bool("resume", false, "resume killed phases from their checkpoints under -ckpt")
+		every   = flag.Int("ckpt-every", 1, "epochs between checkpoints")
+		spike   = flag.Float64("spike", 0, "loss-spike rollback factor (>1 enables; e.g. 10)")
 	)
 	flag.Parse()
 
@@ -63,6 +67,15 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
+	if *resume && *ckpt == "" {
+		log.Fatal("-resume requires -ckpt")
+	}
+	if *ckpt != "" {
+		if err := os.MkdirAll(*ckpt, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	opt := train.CompareOptions{CkptDir: *ckpt, Resume: *resume, CkptEvery: *every, SpikeFactor: *spike}
 
 	var rows []train.CompareResult
 	if *all {
@@ -70,9 +83,9 @@ func main() {
 		if *mults != "" {
 			multList = strings.Split(*mults, ",")
 		}
-		rows = train.TableII(multList, strings.Split(*modelsF, ","), *classes, sc, *seed, log.Printf)
+		rows = train.TableIIOpts(multList, strings.Split(*modelsF, ","), *classes, sc, *seed, log.Printf, opt)
 	} else {
-		rows = append(rows, train.CompareGradients(*mult, *model, *classes, sc, *seed, logf))
+		rows = append(rows, train.CompareGradientsOpts(*mult, *model, *classes, sc, *seed, logf, opt))
 	}
 
 	lib := tech.ASAP7()
@@ -114,5 +127,17 @@ func main() {
 		t.WriteCSV(os.Stdout)
 	} else {
 		t.WriteText(os.Stdout)
+	}
+	// Robustness events are rare; a silent table implies clean runs.
+	for _, r := range rows {
+		for _, leg := range []struct {
+			name string
+			res  train.Result
+		}{{"STE", r.STE}, {"ours", r.Ours}} {
+			if !leg.res.Healthy() {
+				fmt.Printf("robustness[%s/%s %s]: %d steps skipped, %d rollbacks, %d data retries\n",
+					r.Model, r.Multiplier, leg.name, leg.res.SkippedSteps, leg.res.Rollbacks, leg.res.Retries)
+			}
+		}
 	}
 }

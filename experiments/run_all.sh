@@ -39,4 +39,9 @@ done
 # Fig. 6 (ResNet34; add resnet50 to -models for the full figure).
 $BIN/curves -scale small -models resnet34 -hw 10 -width 0.12 \
   -train 800 -test 300 -epochs 6 > experiments/fig6_small.txt
+
+# Fault sweep: accuracy vs. LUT fault rate for mul8u_rm8, with guarded
+# retraining under each faulty LUT (see README "Robustness & fault model").
+$BIN/faultsweep -mult mul8u_rm8 -model lenet -scale small -trials 3 \
+  -retrain -gradrate 0.001 > experiments/faultsweep_mul8u_rm8_small.txt
 echo DONE

@@ -222,6 +222,13 @@ func LoadBinary(classes int, paths ...string) (*Dataset, error) {
 		}
 		raw = append(raw, b...)
 	}
+	return parseBinary(raw, classes)
+}
+
+// parseBinary decodes concatenated CIFAR records (shared by LoadBinary
+// and LoadBinaryRetry).
+func parseBinary(raw []byte, classes int) (*Dataset, error) {
+	const rec = 1 + 3*32*32
 	n := len(raw) / rec
 	if n == 0 {
 		return nil, fmt.Errorf("data: no records found")

@@ -1,0 +1,143 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Guarded runs fn and converts a panic into an error, carrying the
+// panic value and preserving error panics via %w. It is the pipeline's
+// last line of defense: a single poisoned batch (bad shape, corrupted
+// record) becomes a skippable error instead of killing a multi-hour
+// run. The goroutine's stack is unwound normally, so deferred cleanup
+// in fn still runs.
+func Guarded(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("data: recovered panic: %w", e)
+			} else {
+				err = fmt.Errorf("data: recovered panic: %v", r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// RetryOptions bounds a retry loop around a transient operation.
+type RetryOptions struct {
+	// Attempts is the total number of tries (minimum 1; 0 means 3).
+	Attempts int
+	// Backoff is the initial delay between tries, doubled after each
+	// failure (0 means 100ms). MaxBackoff caps the doubling (0 means
+	// 10x Backoff).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep in tests; nil selects time.Sleep.
+	Sleep func(time.Duration)
+	// Logf, when non-nil, receives one line per retry.
+	Logf func(format string, args ...any)
+}
+
+func (o RetryOptions) attempts() int {
+	if o.Attempts < 1 {
+		return 3
+	}
+	return o.Attempts
+}
+
+func (o RetryOptions) backoffs() (first, max time.Duration) {
+	first = o.Backoff
+	if first <= 0 {
+		first = 100 * time.Millisecond
+	}
+	max = o.MaxBackoff
+	if max <= 0 {
+		max = 10 * first
+	}
+	return first, max
+}
+
+// WithRetry runs op up to opts.Attempts times with exponential backoff,
+// returning the number of retries consumed (0 when the first try
+// succeeds) and the last error when every try fails. A Permanent-
+// wrapped error aborts immediately without further tries.
+func WithRetry(opts RetryOptions, op func() error) (retries int, err error) {
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay, maxDelay := opts.backoffs()
+	attempts := opts.attempts()
+	for try := 1; ; try++ {
+		err = op()
+		if err == nil {
+			return retries, nil
+		}
+		if pe, ok := err.(permanentError); ok {
+			return retries, pe.err
+		}
+		if try >= attempts {
+			return retries, fmt.Errorf("data: giving up after %d attempts: %w", attempts, err)
+		}
+		if opts.Logf != nil {
+			opts.Logf("data: attempt %d/%d failed (%v); retrying in %s", try, attempts, err, delay)
+		}
+		retries++
+		sleep(delay)
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps an error so WithRetry stops immediately: validation
+// failures (wrong record size, out-of-range label) will not heal with
+// time, unlike transient I/O errors.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err}
+}
+
+// readFile is swapped out by tests to simulate transient read errors.
+var readFile = os.ReadFile
+
+// LoadBinaryRetry is LoadBinary with bounded retry-with-backoff around
+// each file read, for runs whose datasets live on flaky network mounts.
+// Validation errors (non-CIFAR record size, label out of range) are
+// permanent and abort immediately; read errors are retried per file up
+// to opts.Attempts. The returned retries count feeds train.Result's
+// Retries counter.
+func LoadBinaryRetry(opts RetryOptions, classes int, paths ...string) (ds *Dataset, retries int, err error) {
+	const rec = 1 + 3*32*32
+	var raw []byte
+	for _, p := range paths {
+		r, err := WithRetry(opts, func() error {
+			b, err := readFile(p)
+			if err != nil {
+				return err
+			}
+			if len(b)%rec != 0 {
+				return Permanent(fmt.Errorf("data: %s is not a CIFAR binary batch (size %d)", p, len(b)))
+			}
+			raw = append(raw, b...)
+			return nil
+		})
+		retries += r
+		if err != nil {
+			return nil, retries, err
+		}
+	}
+	ds, err = parseBinary(raw, classes)
+	return ds, retries, err
+}

@@ -1,0 +1,169 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestGuardedRecoversPanics(t *testing.T) {
+	if err := Guarded(func() {}); err != nil {
+		t.Errorf("healthy fn returned %v", err)
+	}
+	err := Guarded(func() { panic("boom") })
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Errorf("string panic lost: %v", err)
+	}
+	inner := errors.New("inner")
+	err = Guarded(func() { panic(inner) })
+	if !errors.Is(err, inner) {
+		t.Errorf("error panic not wrapped: %v", err)
+	}
+	err = Guarded(func() { _ = []int{}[1] })
+	if err == nil {
+		t.Error("runtime panic not recovered")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWithRetryEventualSuccess(t *testing.T) {
+	var slept []time.Duration
+	opts := RetryOptions{Attempts: 5, Backoff: time.Millisecond, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	retries, err := WithRetry(opts, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Errorf("retries=%d calls=%d err=%v, want 2/3/nil", retries, calls, err)
+	}
+	// Exponential backoff: 1ms then 2ms.
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Errorf("backoff sequence %v", slept)
+	}
+}
+
+func TestWithRetryExhaustion(t *testing.T) {
+	opts := RetryOptions{Attempts: 3, Backoff: time.Microsecond, Sleep: func(time.Duration) {}}
+	calls := 0
+	retries, err := WithRetry(opts, func() error { calls++; return errors.New("down") })
+	if err == nil || calls != 3 || retries != 2 {
+		t.Errorf("calls=%d retries=%d err=%v, want 3/2/non-nil", calls, retries, err)
+	}
+}
+
+func TestWithRetryPermanentAborts(t *testing.T) {
+	opts := RetryOptions{Attempts: 5, Sleep: func(time.Duration) {}}
+	calls := 0
+	base := errors.New("bad format")
+	retries, err := WithRetry(opts, func() error { calls++; return Permanent(base) })
+	if calls != 1 || retries != 0 {
+		t.Errorf("permanent error retried: calls=%d retries=%d", calls, retries)
+	}
+	if !errors.Is(err, base) {
+		t.Errorf("permanent error lost its cause: %v", err)
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+// cifarBlob builds n valid CIFAR records with the given label.
+func cifarBlob(n int, label byte) []byte {
+	const rec = 1 + 3*32*32
+	b := make([]byte, n*rec)
+	for i := 0; i < n; i++ {
+		b[i*rec] = label
+	}
+	return b
+}
+
+func TestLoadBinaryRetryTransientFailure(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "batch.bin")
+	if err := os.WriteFile(p, cifarBlob(4, 2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// First two reads fail transiently, the third succeeds.
+	fails := 2
+	orig := readFile
+	readFile = func(name string) ([]byte, error) {
+		if fails > 0 {
+			fails--
+			return nil, errors.New("EIO: transient")
+		}
+		return orig(name)
+	}
+	defer func() { readFile = orig }()
+
+	opts := RetryOptions{Attempts: 4, Backoff: time.Microsecond, Sleep: func(time.Duration) {}}
+	ds, retries, err := LoadBinaryRetry(opts, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2", retries)
+	}
+	if ds.Len() != 4 || ds.Y[0] != 2 {
+		t.Errorf("dataset wrong: len %d label %d", ds.Len(), ds.Y[0])
+	}
+}
+
+func TestLoadBinaryRetryPermanentValidation(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(p, []byte("not cifar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	orig := readFile
+	readFile = func(name string) ([]byte, error) { calls++; return orig(name) }
+	defer func() { readFile = orig }()
+
+	opts := RetryOptions{Attempts: 5, Sleep: func(time.Duration) {}}
+	_, retries, err := LoadBinaryRetry(opts, 10, p)
+	if err == nil {
+		t.Fatal("junk file accepted")
+	}
+	if calls != 1 || retries != 0 {
+		t.Errorf("validation error was retried: calls=%d retries=%d", calls, retries)
+	}
+}
+
+func TestLoadBinaryRetryMatchesLoadBinary(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "batch.bin")
+	if err := os.WriteFile(p, cifarBlob(6, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadBinary(10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, retries, err := LoadBinaryRetry(RetryOptions{}, 10, p)
+	if err != nil || retries != 0 {
+		t.Fatalf("retries=%d err=%v", retries, err)
+	}
+	if a.Len() != b.Len() || a.Classes != b.Classes {
+		t.Fatalf("datasets differ: %d/%d vs %d/%d", a.Len(), a.Classes, b.Len(), b.Classes)
+	}
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}

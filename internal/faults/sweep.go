@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// SweepPoint aggregates one fault rate's trials.
+type SweepPoint struct {
+	Rate       float64
+	Trials     int
+	MeanFaults float64
+	// MeanTop1/MinTop1/MaxTop1 summarize eval across trials (percent).
+	MeanTop1, MinTop1, MaxTop1 float64
+}
+
+// Sweep measures accuracy degradation under growing fault rates: for
+// each rate it runs trials independently seeded injections of model
+// (with the rate substituted) into base and calls eval on each faulted
+// LUT. Trial seeds are derived deterministically from model.Seed, the
+// rate's position, and the trial number, so a sweep is reproducible
+// end to end: same Model, rates, trials, and eval → same table.
+func Sweep(base []uint32, opBits int, model Model, rates []float64, trials int, eval func(lut []uint32, fs []Fault) float64) []SweepPoint {
+	if trials < 1 {
+		panic(fmt.Sprintf("faults: trials %d < 1", trials))
+	}
+	out := make([]SweepPoint, 0, len(rates))
+	for ri, rate := range rates {
+		p := SweepPoint{Rate: rate, Trials: trials, MinTop1: math.Inf(1), MaxTop1: math.Inf(-1)}
+		var faultSum int
+		for t := 0; t < trials; t++ {
+			m := model
+			m.Rate = rate
+			// Distinct coprime strides keep (rate, trial) seeds unique.
+			m.Seed = model.Seed + int64(ri)*1_000_003 + int64(t)*7919
+			faulty, fs := NewInjector(m, opBits).Faulty(base)
+			top1 := eval(faulty, fs)
+			faultSum += len(fs)
+			p.MeanTop1 += top1
+			p.MinTop1 = math.Min(p.MinTop1, top1)
+			p.MaxTop1 = math.Max(p.MaxTop1, top1)
+		}
+		p.MeanTop1 /= float64(trials)
+		p.MeanFaults = float64(faultSum) / float64(trials)
+		out = append(out, p)
+	}
+	return out
+}

@@ -92,6 +92,48 @@ func (a *Adam) Step(params []*nn.Param, lr float64) {
 	}
 }
 
+// AdamState is a deep-copied snapshot of an Adam optimizer's state for
+// a fixed parameter list: the bias-correction step count and the
+// first/second moment vectors in parameter order. It exists so the
+// train package can checkpoint and roll back mid-run without reaching
+// into the optimizer's internals.
+type AdamState struct {
+	Step int
+	M, V [][]float64
+}
+
+// Snapshot captures the state for params, in order. Parameters the
+// optimizer has not stepped yet snapshot as zero moments.
+func (a *Adam) Snapshot(params []*nn.Param) AdamState {
+	st := AdamState{Step: a.step, M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		st.M[i] = append([]float64(nil), a.m[p]...)
+		st.V[i] = append([]float64(nil), a.v[p]...)
+		if st.M[i] == nil {
+			st.M[i] = make([]float64, p.Value.Numel())
+			st.V[i] = make([]float64, p.Value.Numel())
+		}
+	}
+	return st
+}
+
+// Restore overwrites the state for params from a snapshot taken with
+// the same parameter list (Snapshot's inverse; the snapshot is copied,
+// not aliased).
+func (a *Adam) Restore(params []*nn.Param, st AdamState) {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		panic("optim: AdamState does not match parameter list")
+	}
+	a.step = st.Step
+	for i, p := range params {
+		if len(st.M[i]) != p.Value.Numel() || len(st.V[i]) != p.Value.Numel() {
+			panic("optim: AdamState moment size does not match parameter")
+		}
+		a.m[p] = append([]float64(nil), st.M[i]...)
+		a.v[p] = append([]float64(nil), st.V[i]...)
+	}
+}
+
 // Stage is one constant-rate segment of a step schedule.
 type Stage struct {
 	// UntilEpoch is the last epoch (1-based, inclusive) at this rate.

@@ -153,3 +153,24 @@ func (o *Observer) Params(bits int) Params {
 	}
 	return Calibrate(o.min, o.max, bits)
 }
+
+// StateVec exports the observer's evolving state (range estimate and
+// whether anything was seen; Momentum is configuration, not state) so
+// training checkpoints can capture it — losing the range estimate on
+// resume would shift every subsequent quantization.
+func (o *Observer) StateVec() []float32 {
+	seen := float32(0)
+	if o.seen {
+		seen = 1
+	}
+	return []float32{o.min, o.max, seen}
+}
+
+// SetStateVec restores state captured by StateVec.
+func (o *Observer) SetStateVec(s []float32) error {
+	if len(s) != 3 {
+		return fmt.Errorf("quant: observer state has %d values, want 3", len(s))
+	}
+	o.min, o.max, o.seen = s[0], s[1], s[2] != 0
+	return nil
+}

@@ -2,6 +2,7 @@ package train
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"github.com/appmult/retrain/internal/appmult"
 	"github.com/appmult/retrain/internal/data"
@@ -151,12 +152,42 @@ type CompareResult struct {
 	Improve float64
 }
 
+// CompareOptions carries the robustness knobs of cmd/retrain through
+// to the per-phase training runs.
+type CompareOptions struct {
+	// CkptDir, when non-empty, checkpoints every phase (QAT reference,
+	// STE retrain, difference retrain) under deterministic file names
+	// in that directory, and Resume continues killed phases from them.
+	// Completed phases replay from their checkpoint without retraining.
+	CkptDir string
+	Resume  bool
+	// CkptEvery and SpikeFactor forward to Config.
+	CkptEvery   int
+	SpikeFactor float64
+}
+
+// config derives the phase Config for a checkpoint file name.
+func (o CompareOptions) config(base Config, name string) Config {
+	base.SpikeFactor = o.SpikeFactor
+	if o.CkptDir != "" {
+		base.CkptPath = filepath.Join(o.CkptDir, name+".ckpt")
+		base.CkptEvery = o.CkptEvery
+		base.Resume = o.Resume
+	}
+	return base
+}
+
 // CompareGradients reproduces one Table II row at the given scale:
 // QAT-train a reference model with the accurate multiplier, seed an
 // AppMult twin from its weights, measure initial accuracy, then
 // retrain twice — once with STE gradients, once with difference-based
 // gradients — and report everything.
 func CompareGradients(multName, modelKind string, classes int, sc Scale, seed int64, logf func(string, ...any)) CompareResult {
+	return CompareGradientsOpts(multName, modelKind, classes, sc, seed, logf, CompareOptions{})
+}
+
+// CompareGradientsOpts is CompareGradients with robustness options.
+func CompareGradientsOpts(multName, modelKind string, classes int, sc Scale, seed int64, logf func(string, ...any), opt CompareOptions) CompareResult {
 	entry, ok := appmult.Lookup(multName)
 	if !ok {
 		panic(fmt.Sprintf("train: unknown multiplier %q", multName))
@@ -172,7 +203,7 @@ func CompareGradients(multName, modelKind string, classes int, sc Scale, seed in
 	if logf != nil {
 		logf("[%s/%s] QAT reference training", multName, modelKind)
 	}
-	refRes := Run(ref, trainSet, testSet, cfg)
+	refRes := Run(ref, trainSet, testSet, opt.config(cfg, fmt.Sprintf("ref_%s_%dbit", modelKind, entry.Mult.Bits())))
 
 	retrain := func(est Estimator) (Result, float64) {
 		op := OpFor(entry.Mult, est, entry.HWS)
@@ -182,7 +213,7 @@ func CompareGradients(multName, modelKind string, classes int, sc Scale, seed in
 		if logf != nil {
 			logf("[%s/%s] retraining with %s (initial %.2f%%)", multName, modelKind, est, initial)
 		}
-		res := Run(m, trainSet, testSet, cfg)
+		res := Run(m, trainSet, testSet, opt.config(cfg, fmt.Sprintf("%s_%s_%s", modelKind, multName, est)))
 		return res, initial
 	}
 	steRes, initial := retrain(EstimatorSTE)
@@ -260,6 +291,13 @@ func ScaleByName(name string) (Scale, error) {
 // the references do not depend on the approximate multiplier, only on
 // its width, so retraining all rows reuses them.
 func TableII(multNames, modelKinds []string, classes int, sc Scale, seed int64, logf func(string, ...any)) []CompareResult {
+	return TableIIOpts(multNames, modelKinds, classes, sc, seed, logf, CompareOptions{})
+}
+
+// TableIIOpts is TableII with robustness options; checkpoint files are
+// shared with CompareGradientsOpts, so a killed sweep resumes row by
+// row (finished rows replay from their checkpoints).
+func TableIIOpts(multNames, modelKinds []string, classes int, sc Scale, seed int64, logf func(string, ...any), opt CompareOptions) []CompareResult {
 	trainSet, testSet := data.Synthetic(data.SynthConfig{
 		Classes: classes, Train: sc.Train, Test: sc.Test, HW: sc.HW, Seed: seed,
 	})
@@ -280,7 +318,7 @@ func TableII(multNames, modelKinds []string, classes int, sc Scale, seed int64, 
 		}
 		accOp := nn.STEOp(appmult.NewAccurate(bits))
 		m := BuildModel(model, classes, sc, models.ApproxConv(accOp), seed)
-		res := Run(m, trainSet, testSet, cfg)
+		res := Run(m, trainSet, testSet, opt.config(cfg, fmt.Sprintf("ref_%s_%dbit", model, bits)))
 		r := &refEntry{model: m, top1: res.FinalTop1()}
 		refs[k] = r
 		return r
@@ -302,7 +340,7 @@ func TableII(multNames, modelKinds []string, classes int, sc Scale, seed int64, 
 				if logf != nil {
 					logf("[%s/%s] retraining with %s (initial %.2f%%)", mn, mk, est, initial)
 				}
-				return Run(m, trainSet, testSet, cfg), initial
+				return Run(m, trainSet, testSet, opt.config(cfg, fmt.Sprintf("%s_%s_%s", mk, mn, est))), initial
 			}
 			steRes, initial := retrain(EstimatorSTE)
 			oursRes, _ := retrain(EstimatorDifference)

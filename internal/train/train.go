@@ -6,12 +6,16 @@
 package train
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"math"
 	"time"
 
 	"github.com/appmult/retrain/internal/data"
 	"github.com/appmult/retrain/internal/nn"
 	"github.com/appmult/retrain/internal/optim"
+	"github.com/appmult/retrain/internal/tensor"
 )
 
 // Config controls one training run.
@@ -27,6 +31,29 @@ type Config struct {
 	Seed int64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// Robustness knobs (see README "Robustness & fault model"). The
+	// per-step NaN/Inf gradient guard and panic recovery are always on:
+	// they never alter a healthy run, only turn poisoned steps into
+	// counted skips.
+
+	// SpikeFactor enables loss-spike rollback when > 1: a batch whose
+	// loss is NaN/Inf or exceeds SpikeFactor times the trailing mean of
+	// accepted batch losses rolls the parameters and optimizer back to
+	// the epoch-start snapshot. Zero disables rollback (NaN/Inf losses
+	// then skip the step instead).
+	SpikeFactor float64
+	// CkptPath, when non-empty, enables atomic checkpointing (see
+	// SaveCheckpoint) after every CkptEvery-th epoch and after the
+	// final one.
+	CkptPath string
+	// CkptEvery is the epoch interval between checkpoints; 0 means 1.
+	CkptEvery int
+	// Resume loads CkptPath (when it exists) and continues from the
+	// epoch after the one it recorded. A checkpoint recording a
+	// different seed is refused: its continuation could not match a
+	// straight run.
+	Resume bool
 }
 
 func (c Config) schedule() optim.Schedule {
@@ -53,6 +80,22 @@ type Result struct {
 	// The paper reports the difference-based backward pass costing
 	// 1.4-2.6x STE's runtime; this field reproduces that comparison.
 	Seconds float64
+
+	// Robustness counters. SkippedSteps counts batches dropped by the
+	// NaN/Inf gradient guard or recovered from a panic; Rollbacks
+	// counts loss-spike rollbacks to the epoch-start snapshot. Retries
+	// (data-pipeline read retries) and InjectedFaults (LUT faults, see
+	// internal/faults) are populated by the callers that own those
+	// stages — Run has no visibility into them.
+	SkippedSteps   int
+	Rollbacks      int
+	Retries        int
+	InjectedFaults int
+}
+
+// Healthy reports whether the run finished without robustness events.
+func (r Result) Healthy() bool {
+	return r.SkippedSteps == 0 && r.Rollbacks == 0 && r.Retries == 0
 }
 
 // FinalTop1 returns the last epoch's top-1 accuracy.
@@ -81,36 +124,175 @@ func (r Result) FinalLoss() float64 {
 
 // Run trains model on the training split with Adam and the configured
 // schedule, evaluating on the test split after every epoch.
+//
+// The loop is guarded: a batch whose forward/backward panics or whose
+// gradients contain NaN/Inf is skipped and counted instead of poisoning
+// the weights, and (when cfg.SpikeFactor > 1) a loss spike rolls the
+// model and optimizer back to the epoch-start snapshot. With a CkptPath
+// the run checkpoints atomically and, with Resume, continues a killed
+// run bit-identically (see SaveCheckpoint).
 func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 	if cfg.Epochs < 1 || cfg.BatchSize < 1 {
 		panic(fmt.Sprintf("train: invalid config %+v", cfg))
 	}
 	opt := optim.NewAdam()
 	sched := cfg.schedule()
+	params := model.Params()
 	var res Result
-	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+	startEpoch := 1
+	if cfg.Resume && cfg.CkptPath != "" {
+		switch st, err := LoadCheckpoint(cfg.CkptPath, model); {
+		case err == nil:
+			if st.Seed != cfg.Seed {
+				panic(fmt.Sprintf("train: checkpoint %s was written with seed %d, run uses seed %d",
+					cfg.CkptPath, st.Seed, cfg.Seed))
+			}
+			opt.Restore(params, st.Adam)
+			res = st.Result
+			startEpoch = st.Epoch + 1
+			cfg.logf("resumed %s: %d/%d epochs done", cfg.CkptPath, st.Epoch, cfg.Epochs)
+		case errors.Is(err, fs.ErrNotExist):
+			cfg.logf("no checkpoint at %s; starting fresh", cfg.CkptPath)
+		default:
+			// A corrupt checkpoint is not a fresh start: fail loudly
+			// rather than silently discarding hours of training.
+			panic(fmt.Sprintf("train: cannot resume: %v", err))
+		}
+	}
+	ckptEvery := cfg.CkptEvery
+	if ckptEvery < 1 {
+		ckptEvery = 1
+	}
+	for epoch := startEpoch; epoch <= cfg.Epochs; epoch++ {
 		lr := sched.At(epoch)
+		var snap *epochSnapshot
+		if cfg.SpikeFactor > 1 {
+			snap = snapshot(model, params, opt)
+		}
 		var lossSum float64
+		var accepted int
 		batches := trainSet.Batches(cfg.BatchSize, cfg.Seed+int64(epoch))
 		start := time.Now()
-		for _, b := range batches {
-			nn.ZeroGrads(model)
-			out := model.Forward(b.X, true)
-			loss, grad := nn.SoftmaxCrossEntropy(out, b.Y)
+		for bi, b := range batches {
+			var loss float64
+			err := data.Guarded(func() {
+				nn.ZeroGrads(model)
+				out := model.Forward(b.X, true)
+				var grad *tensor.Tensor
+				loss, grad = nn.SoftmaxCrossEntropy(out, b.Y)
+				model.Backward(grad)
+			})
+			if err != nil {
+				res.SkippedSteps++
+				cfg.logf("epoch %d batch %d: %v (step skipped)", epoch, bi, err)
+				continue
+			}
+			if bad, spiked := lossAnomaly(loss, lossSum, accepted, cfg.SpikeFactor); bad {
+				if snap != nil {
+					snap.restore(model, params, opt)
+					res.Rollbacks++
+					cfg.logf("epoch %d batch %d: loss %.4g (spiked=%v); rolled back to epoch start",
+						epoch, bi, loss, spiked)
+				} else {
+					res.SkippedSteps++
+					cfg.logf("epoch %d batch %d: loss %.4g not finite (step skipped)", epoch, bi, loss)
+				}
+				continue
+			}
+			if !gradsFinite(params) {
+				res.SkippedSteps++
+				cfg.logf("epoch %d batch %d: NaN/Inf gradient (step skipped)", epoch, bi)
+				continue
+			}
 			lossSum += loss
-			model.Backward(grad)
-			opt.Step(model.Params(), lr)
+			accepted++
+			opt.Step(params, lr)
 		}
 		res.Seconds += time.Since(start).Seconds()
-		meanLoss := lossSum / float64(len(batches))
+		meanLoss := math.NaN()
+		if accepted > 0 {
+			meanLoss = lossSum / float64(accepted)
+		}
 		top1, top5 := Evaluate(model, testSet, cfg.BatchSize)
 		res.TrainLoss = append(res.TrainLoss, meanLoss)
 		res.TestTop1 = append(res.TestTop1, top1)
 		res.TestTop5 = append(res.TestTop5, top5)
 		cfg.logf("epoch %2d/%d lr %.2e loss %.4f top1 %.2f%% top5 %.2f%%",
 			epoch, cfg.Epochs, lr, meanLoss, top1, top5)
+		if cfg.CkptPath != "" && (epoch%ckptEvery == 0 || epoch == cfg.Epochs) {
+			st := CheckpointState{Epoch: epoch, Seed: cfg.Seed, Adam: opt.Snapshot(params), Result: res}
+			if err := SaveCheckpoint(cfg.CkptPath, model, st); err != nil {
+				// Training can proceed without the checkpoint; surface
+				// the failure and keep going.
+				cfg.logf("epoch %d: checkpoint failed: %v", epoch, err)
+			}
+		}
+	}
+	if res.SkippedSteps > 0 || res.Rollbacks > 0 {
+		cfg.logf("robustness: %d steps skipped, %d rollbacks", res.SkippedSteps, res.Rollbacks)
 	}
 	return res
+}
+
+// lossAnomaly classifies a batch loss: bad when the step must not be
+// applied, spiked when it tripped the spike threshold specifically
+// (as opposed to being non-finite). The trailing mean is over accepted
+// batches this epoch; the first few batches are exempt so a noisy
+// epoch start cannot trip the detector.
+func lossAnomaly(loss, lossSum float64, accepted int, factor float64) (bad, spiked bool) {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return true, false
+	}
+	const minWindow = 8
+	if factor > 1 && accepted >= minWindow && loss > factor*(lossSum/float64(accepted)) {
+		return true, true
+	}
+	return false, false
+}
+
+// gradsFinite scans every gradient for NaN/Inf.
+func gradsFinite(params []*nn.Param) bool {
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			if math.IsNaN(float64(g)) || math.IsInf(float64(g), 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// epochSnapshot is the rollback target for loss-spike recovery:
+// parameter values, optimizer state, and non-parameter layer state
+// (running statistics, observers).
+type epochSnapshot struct {
+	values [][]float32
+	adam   optim.AdamState
+	state  [][]float32
+}
+
+func snapshot(model nn.Layer, params []*nn.Param, opt *optim.Adam) *epochSnapshot {
+	s := &epochSnapshot{
+		values: make([][]float32, len(params)),
+		adam:   opt.Snapshot(params),
+		state:  nn.CollectState(model),
+	}
+	for i, p := range params {
+		s.values[i] = append([]float32(nil), p.Value.Data...)
+	}
+	return s
+}
+
+func (s *epochSnapshot) restore(model nn.Layer, params []*nn.Param, opt *optim.Adam) {
+	for i, p := range params {
+		copy(p.Value.Data, s.values[i])
+	}
+	opt.Restore(params, s.adam)
+	if err := nn.RestoreState(model, s.state); err != nil {
+		// The snapshot came from this very model; a mismatch means
+		// memory corruption, not bad input.
+		panic(fmt.Sprintf("train: rollback failed: %v", err))
+	}
 }
 
 // Evaluate computes top-1 and top-5 test accuracy in percent.
