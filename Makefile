@@ -1,5 +1,7 @@
 # Tier-1: the gate every change must pass.
-.PHONY: build test tier1 vet race verify clean
+.PHONY: build test tier1 vet race bench benchreport verify clean
+
+BENCH_BASELINE := BENCH_kernels.json
 
 build:
 	go build ./...
@@ -12,12 +14,28 @@ tier1: build test
 vet:
 	go vet ./...
 
-# The robustness-critical packages get a -race pass: the guarded train
-# loop, the retrying data pipeline, and the fault injector.
+# The concurrency-critical packages get a -race pass: the worker pool
+# and the kernels scheduled on it, the guarded train loop, the retrying
+# data pipeline, and the fault injector.
 race:
-	go test -race -count=1 ./internal/train/ ./internal/data/ ./internal/faults/
+	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/
 
-verify: vet tier1 race
+# bench re-measures the kernel baseline, fails loudly if anything
+# regressed beyond benchdiff's tolerance, and promotes the new numbers.
+bench:
+	go run ./cmd/benchkernels -out $(BENCH_BASELINE).new
+	go run ./scripts/benchdiff $(BENCH_BASELINE) $(BENCH_BASELINE).new
+	mv $(BENCH_BASELINE).new $(BENCH_BASELINE)
+
+# benchreport is the non-blocking flavor used by verify: quick
+# (noisier) measurements, report-only diff.
+benchreport:
+	-go run ./cmd/benchkernels -quick -out $(BENCH_BASELINE).quick
+	-go run ./scripts/benchdiff -tol 1.5 $(BENCH_BASELINE) $(BENCH_BASELINE).quick
+	-rm -f $(BENCH_BASELINE).quick
+
+verify: vet tier1 race benchreport
 
 clean:
 	go clean ./...
+	rm -f $(BENCH_BASELINE).new $(BENCH_BASELINE).quick

@@ -1,0 +1,177 @@
+// Command benchkernels measures the approximate-GEMM kernel stack and
+// records the results as a machine-readable baseline. It benchmarks
+// the blocked kernels (the training hot path), the preserved reference
+// kernels they replaced, and an ApproxConv2D forward+backward step
+// end-to-end, then writes ns/op, B/op, and allocs/op per benchmark
+// plus blocked-vs-reference speedup summaries to a JSON file.
+//
+// The committed BENCH_kernels.json at the repository root is the
+// current baseline; `make bench` re-measures, diffs against it with
+// scripts/benchdiff (failing loudly on regressions), and promotes the
+// new numbers.
+//
+// Usage:
+//
+//	benchkernels [-out BENCH_kernels.json] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/quant"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// Kernel shape: batch 4 of 16x16x16 activations through a 3x3 16->32
+// conv — rows=1024, k=144, outC=32, the same shape as the repository's
+// BenchmarkKernel_* microbenchmarks.
+const (
+	rows = 1024
+	outC = 32
+	k    = 144
+)
+
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+type record struct {
+	Note       string             `json:"note"`
+	Multiplier string             `json:"multiplier"`
+	Shape      string             `json:"shape"`
+	Benchmarks map[string]result  `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernels.json", "output JSON path")
+	quick := flag.Bool("quick", false, "short benchtime (noisier, for CI smoke reports)")
+	testing.Init()
+	flag.Parse()
+	benchtime := "1s"
+	if *quick {
+		benchtime = "100ms"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+
+	e, ok := appmult.Lookup("mul7u_rm6")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchkernels: mul7u_rm6 missing from registry")
+		os.Exit(1)
+	}
+	op := nn.DifferenceOp(e.Mult, 6)
+
+	rng := rand.New(rand.NewSource(42))
+	xq := make([]uint8, rows*k)
+	wq := make([]uint8, outC*k)
+	xClip := make([]bool, rows*k)
+	wClip := make([]bool, outC*k)
+	dy := make([]float32, rows*outC)
+	for i := range xq {
+		xq[i] = uint8(rng.Intn(128))
+	}
+	for i := range wq {
+		wq[i] = uint8(rng.Intn(128))
+	}
+	for i := range dy {
+		dy[i] = float32(rng.NormFloat64())
+	}
+	pw := []quant.Params{quant.Calibrate(-1, 1, 7)}
+	px := quant.Calibrate(0, 2, 7)
+	bias := make([]float32, outC)
+
+	var s nn.KernelScratch
+	dst := make([]float32, rows*outC)
+	dw := make([]float32, outC*k)
+	dx := make([]float32, rows*k)
+	gsum := make([]float32, outC)
+
+	// End-to-end layer step at the same shape.
+	layer := nn.NewApproxConv2D("bench", 16, 32, 3, 1, 1, op, rng)
+	x := tensor.New(4, 16, 16, 16)
+	x.RandNormal(rng, 1)
+	y := layer.Forward(x, true)
+	dyT := tensor.New(y.Shape...)
+	dyT.RandNormal(rng, 1)
+
+	benches := map[string]func(b *testing.B){
+		"Kernel_GEMMForwardBlocked": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.ForwardGEMM(&s, dst, xq, wq, rows, outC, k, pw, px, bias)
+			}
+		},
+		"Kernel_GEMMForwardRef": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.ForwardGEMMRef(xq, wq, rows, outC, k, pw, px, bias)
+			}
+		},
+		"Kernel_GEMMBackwardBlocked": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.BackwardGEMM(&s, dw, dx, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
+			}
+		},
+		"Kernel_GEMMBackwardRef": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.BackwardGEMMRef(dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
+			}
+		},
+		"Layer_ApproxConvStep": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				layer.Forward(x, true)
+				layer.Backward(dyT)
+			}
+		},
+	}
+
+	rec := record{
+		Note:       "approximate-GEMM kernel baseline; regenerate with `make bench`",
+		Multiplier: op.Label,
+		Shape:      fmt.Sprintf("rows=%d outC=%d k=%d", rows, outC, k),
+		Benchmarks: map[string]result{},
+		Speedups:   map[string]float64{},
+	}
+	for name, fn := range benches {
+		r := testing.Benchmark(fn)
+		rec.Benchmarks[name] = result{
+			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesOp:  r.AllocedBytesPerOp(),
+			AllocsOp: r.AllocsPerOp(),
+		}
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			name, rec.Benchmarks[name].NsOp, rec.Benchmarks[name].BytesOp, rec.Benchmarks[name].AllocsOp)
+	}
+	rec.Speedups["forward_blocked_vs_ref"] = rec.Benchmarks["Kernel_GEMMForwardRef"].NsOp /
+		rec.Benchmarks["Kernel_GEMMForwardBlocked"].NsOp
+	rec.Speedups["backward_blocked_vs_ref"] = rec.Benchmarks["Kernel_GEMMBackwardRef"].NsOp /
+		rec.Benchmarks["Kernel_GEMMBackwardBlocked"].NsOp
+	fmt.Printf("forward  blocked vs ref: %.2fx\n", rec.Speedups["forward_blocked_vs_ref"])
+	fmt.Printf("backward blocked vs ref: %.2fx\n", rec.Speedups["backward_blocked_vs_ref"])
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -48,11 +48,7 @@ func WriteProduct(w io.Writer, name string, bits int, table []uint32) error {
 	buf.Write(productMagic[:])
 	writeName(&buf, name)
 	buf.WriteByte(uint8(bits))
-	for _, v := range table {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], v)
-		buf.Write(b[:])
-	}
+	writeU32s(&buf, table)
 	return finish(w, &buf)
 }
 
@@ -78,11 +74,7 @@ func ReadProduct(r io.Reader) (name string, bits int, table []uint32, err error)
 	if len(body) != 4*n {
 		return "", 0, nil, fmt.Errorf("lut: payload is %d bytes, want %d", len(body), 4*n)
 	}
-	table = make([]uint32, n)
-	for i := range table {
-		table[i] = binary.LittleEndian.Uint32(body[4*i:])
-	}
-	return name, bits, table, nil
+	return name, bits, readU32s(body, n), nil
 }
 
 // WriteTables serializes a gradient-table pair.
@@ -105,13 +97,8 @@ func WriteTables(w io.Writer, t *gradient.Tables) error {
 	var h [2]byte
 	binary.LittleEndian.PutUint16(h[:], uint16(t.HWS))
 	buf.Write(h[:])
-	for _, tbl := range [][]float32{t.DW, t.DX} {
-		for _, v := range tbl {
-			var b [4]byte
-			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
-			buf.Write(b[:])
-		}
-	}
+	writeF32s(&buf, t.DW)
+	writeF32s(&buf, t.DX)
 	return finish(w, &buf)
 }
 
@@ -138,18 +125,45 @@ func ReadTables(r io.Reader) (*gradient.Tables, error) {
 	if len(body) != 8*n {
 		return nil, fmt.Errorf("lut: payload is %d bytes, want %d", len(body), 8*n)
 	}
-	t := &gradient.Tables{
+	return &gradient.Tables{
 		Name: name, Bits: bits, HWS: hws,
-		DW: make([]float32, n), DX: make([]float32, n),
+		DW: readF32s(body, n), DX: readF32s(body[4*n:], n),
+	}, nil
+}
+
+// writeU32s bulk-encodes a uint32 slice as one little-endian byte run
+// (a single Write per table instead of one per entry).
+func writeU32s(buf *bytes.Buffer, vals []uint32) {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
 	}
-	for i := range t.DW {
-		t.DW[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	buf.Write(b)
+}
+
+func writeF32s(buf *bytes.Buffer, vals []float32) {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
 	}
-	body = body[4*n:]
-	for i := range t.DX {
-		t.DX[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	buf.Write(b)
+}
+
+// readU32s bulk-decodes n little-endian uint32 values from body.
+func readU32s(body []byte, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(body[4*i:])
 	}
-	return t, nil
+	return out
+}
+
+func readF32s(body []byte, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return out
 }
 
 func writeName(buf *bytes.Buffer, name string) {

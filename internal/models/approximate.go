@@ -43,6 +43,10 @@ func rewriteLayer(l nn.Layer, op *nn.Op) nn.Layer {
 		// weights (supports estimator swaps across a whole model).
 		ac := nn.NewApproxConv2D(t.Name(), t.InC, t.OutC, t.K, t.Stride, t.Pad, op, rand.New(rand.NewSource(0)))
 		ac.PerChannel = t.PerChannel
+		// Carry the activation-range calibration across: dropping it
+		// forces the rewritten layer to re-observe from scratch and, in
+		// eval-only use, to quantize with a single batch's range.
+		ac.Observer = t.Observer
 		copy(ac.Weight.Value.Data, t.Weight.Value.Data)
 		copy(ac.Bias.Value.Data, t.Bias.Value.Data)
 		return ac

@@ -122,6 +122,56 @@ func TestApproximateEstimatorSwap(t *testing.T) {
 	}
 }
 
+func TestApproximateEstimatorSwapKeepsObserver(t *testing.T) {
+	// The estimator swap must not discard the activation-range
+	// calibration accumulated by the source layers' observers.
+	e, _ := appmult.Lookup("mul6u_rm4")
+	ste := nn.STEOp(e.Mult)
+	diff := nn.DifferenceOp(e.Mult, e.HWS)
+	m1 := LeNet(Config{Classes: 4, InputHW: 8, Width: 0.25, Conv: ApproxConv(ste), Seed: 7})
+	x := tensor.New(2, 3, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i%13)/13 - 0.5
+	}
+	m1.Forward(x, true) // calibrate the observers
+	m2 := Approximate(m1, diff)
+
+	srcObs := map[string][]float32{}
+	for _, l := range m1.Layers {
+		if ac, ok := l.(*nn.ApproxConv2D); ok {
+			if !ac.Observer.Seen() {
+				t.Fatalf("%s: source observer never calibrated", ac.Name())
+			}
+			srcObs[ac.Name()] = ac.Observer.StateVec()
+		}
+	}
+	checked := 0
+	for _, l := range m2.Layers {
+		ac, ok := l.(*nn.ApproxConv2D)
+		if !ok {
+			continue
+		}
+		want, found := srcObs[ac.Name()]
+		if !found {
+			continue
+		}
+		checked++
+		if !ac.Observer.Seen() {
+			t.Errorf("%s: observer state dropped by rewrite", ac.Name())
+		}
+		got := ac.Observer.StateVec()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: observer state %v, want %v", ac.Name(), got, want)
+				break
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no approximate convs compared")
+	}
+}
+
 type statefulStub struct{ p *nn.Param }
 
 func (s statefulStub) Name() string                                        { return "stub" }

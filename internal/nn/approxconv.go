@@ -17,6 +17,14 @@ import (
 // Weights and activations are fake-quantized to unsigned B-bit levels
 // with per-tensor affine parameters (Eq. 7); products are dequantized
 // per Eq. (8); parameter updates flow through Eq. (9).
+//
+// The layer owns a scratch-buffer arena: the im2col matrix, quantized
+// operands, GEMM output, and gradient buffers are allocated once and
+// reused across steps, so steady-state training steps allocate
+// nothing here. Consequently the tensors returned by Forward and
+// Backward are owned by the layer and remain valid only until its
+// next Forward/Backward call — the same single-graph discipline the
+// layer caches already imposed.
 type ApproxConv2D struct {
 	name           string
 	InC, OutC      int
@@ -38,6 +46,18 @@ type ApproxConv2D struct {
 	xClip, wClip []bool
 	pw           []quant.Params
 	px           quant.Params
+
+	// Scratch arena (see KernelScratch): buffers sized on first use,
+	// reused every step.
+	ks     KernelScratch
+	cols   *tensor.Tensor
+	flat   *tensor.Tensor
+	y      *tensor.Tensor
+	dyFlat *tensor.Tensor
+	dxcols *tensor.Tensor
+	dx     *tensor.Tensor
+	dw     []float32
+	gsum   []float32
 }
 
 // NewApproxConv2D constructs an approximate convolution using op's
@@ -66,7 +86,24 @@ func (c *ApproxConv2D) Op() *Op { return c.op }
 // trained layer between STE and difference-based estimators).
 func (c *ApproxConv2D) SetOp(op *Op) { c.op = op }
 
-// Forward implements Layer.
+// minMax returns the smallest and largest elements of a non-empty
+// slice (the slice form of tensor.MinMax, avoiding a wrapper
+// allocation for per-channel calibration).
+func minMax(data []float32) (mn, mx float32) {
+	mn, mx = data[0], data[0]
+	for _, v := range data[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// Forward implements Layer. The returned tensor is owned by the layer
+// and valid until the next Forward call.
 func (c *ApproxConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: %s expects NCHW with C=%d, got %v", c.name, c.InC, x.Shape))
@@ -80,49 +117,63 @@ func (c *ApproxConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	c.px = c.Observer.Params(c.op.Bits)
 	k := g.K()
+	nw := c.OutC * k
+	c.wq = grow(c.wq, nw)
+	c.wClip = grow(c.wClip, nw)
 	if c.PerChannel {
-		c.pw = c.pw[:0]
-		c.wq = c.wq[:0]
-		c.wClip = c.wClip[:0]
+		c.pw = grow(c.pw, c.OutC)
 		for oc := 0; oc < c.OutC; oc++ {
-			slice := tensor.FromData(c.Weight.Value.Data[oc*k:(oc+1)*k], k)
-			p := quant.CalibrateTensor(slice, c.op.Bits)
-			c.pw = append(c.pw, p)
-			q, clip := quantizeWithClip(slice.Data, p)
-			c.wq = append(c.wq, q...)
-			c.wClip = append(c.wClip, clip...)
+			ws := c.Weight.Value.Data[oc*k : (oc+1)*k]
+			mn, mx := minMax(ws)
+			p := quant.Calibrate(mn, mx, c.op.Bits)
+			c.pw[oc] = p
+			quantizeWithClipInto(c.wq[oc*k:(oc+1)*k], c.wClip[oc*k:(oc+1)*k], ws, p)
 		}
 	} else {
 		p := quant.CalibrateTensor(c.Weight.Value, c.op.Bits)
-		c.pw = []quant.Params{p}
-		c.wq, c.wClip = quantizeWithClip(c.Weight.Value.Data, p)
+		c.pw = grow(c.pw, 1)
+		c.pw[0] = p
+		quantizeWithClipInto(c.wq, c.wClip, c.Weight.Value.Data, p)
 	}
 
-	cols := tensor.Im2Col(x, g)
-	c.xq, c.xClip = quantizeWithClip(cols.Data, c.px)
+	rows := c.batch * g.OutH * g.OutW
+	c.cols = tensor.Ensure(c.cols, rows, k)
+	tensor.Im2ColInto(c.cols, x, g)
+	c.xq = grow(c.xq, rows*k)
+	c.xClip = grow(c.xClip, rows*k)
+	quantizeWithClipInto(c.xq, c.xClip, c.cols.Data, c.px)
 
-	rows := cols.Shape[0]
-	flat := c.op.approxGEMM(c.xq, c.wq, rows, c.OutC, g.K(), c.pw, c.px, c.Bias.Value.Data)
-	return rowsToNCHW(flat, c.batch, g)
+	c.flat = tensor.Ensure(c.flat, rows, c.OutC)
+	c.op.ForwardGEMM(&c.ks, c.flat.Data, c.xq, c.wq, rows, c.OutC, k, c.pw, c.px, c.Bias.Value.Data)
+	c.y = tensor.Ensure(c.y, c.batch, g.OutC, g.OutH, g.OutW)
+	rowsToNCHWInto(c.y, c.flat, c.batch, g)
+	return c.y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and valid until the next Backward call.
 func (c *ApproxConv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
-	dyFlat := nchwToRows(dy, g)
-	rows := dyFlat.Shape[0]
+	rows := c.batch * g.OutH * g.OutW
 	k := g.K()
+	c.dyFlat = tensor.Ensure(c.dyFlat, rows, c.OutC)
+	nchwToRowsInto(c.dyFlat, dy, g)
 
-	dw, dxcols := c.op.approxBackward(dyFlat.Data, c.xq, c.wq, c.xClip, c.wClip,
-		rows, c.OutC, k, c.pw, c.px)
+	c.dw = grow(c.dw, c.OutC*k)
+	c.gsum = grow(c.gsum, c.OutC)
+	c.dxcols = tensor.Ensure(c.dxcols, rows, k)
+	c.op.BackwardGEMM(&c.ks, c.dw, c.dxcols.Data, c.gsum, c.dyFlat.Data,
+		c.xq, c.wq, c.xClip, c.wClip, rows, c.OutC, k, c.pw, c.px)
 
-	for i, v := range dw {
+	for i, v := range c.dw {
 		c.Weight.Grad.Data[i] += v
 	}
-	for r := 0; r < rows; r++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			c.Bias.Grad.Data[oc] += dyFlat.Data[r*c.OutC+oc]
-		}
+	// The bias gradient (per-channel column sums of dy) falls out of
+	// the pooled backward kernel.
+	for oc, v := range c.gsum {
+		c.Bias.Grad.Data[oc] += v
 	}
-	return tensor.Col2Im(tensor.FromData(dxcols, rows, k), c.batch, g)
+	c.dx = tensor.Ensure(c.dx, c.batch, g.InC, g.InH, g.InW)
+	tensor.Col2ImInto(c.dx, c.dxcols, c.batch, g)
+	return c.dx
 }

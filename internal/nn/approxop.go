@@ -2,11 +2,11 @@ package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/appmult/retrain/internal/appmult"
 	"github.com/appmult/retrain/internal/gradient"
 	"github.com/appmult/retrain/internal/quant"
-	"github.com/appmult/retrain/internal/tensor"
 )
 
 // Op bundles everything the approximate layers need about one
@@ -28,6 +28,19 @@ type Op struct {
 	// realizes the paper's method; any gradient.FromFunc tables give a
 	// user-defined estimator.
 	Grads *gradient.Tables
+
+	// Padded copies of LUT/Grads built lazily on first kernel use (see
+	// ensurePadded): rows of padStride entries so a uint8 operand
+	// index provably stays in bounds, which lets the blocked kernels
+	// gather without bounds checks. The tables are treated as
+	// immutable once any kernel has run.
+	padOnce sync.Once
+	lutPad  []uint32
+	gwPad   []float32
+	gxPad   []float32
+	// lutMax is the largest product in LUT; it decides whether a k-long
+	// accumulation provably fits in int32.
+	lutMax uint32
 }
 
 // NewOp builds an Op from a multiplier and prebuilt gradient tables.
@@ -76,6 +89,45 @@ func BehavioralOp(m appmult.Multiplier, grads *gradient.Tables) *Op {
 	}
 }
 
+// padStride is the padded LUT row length: the full uint8 index range,
+// so `row[xv]` with `row` a 256-element slice and `xv` a uint8 needs no
+// bounds check. Quantized operands are stored as uint8 levels, which
+// caps the kernel bit widths at 8 — the widths DNN accelerators use.
+const padStride = 256
+
+// ensurePadded builds the padded kernel tables once per Op. Ops are
+// shared across layers and the worker pool, hence the sync.Once.
+func (op *Op) ensurePadded() {
+	op.padOnce.Do(func() {
+		if op.Bits < 1 || op.Bits > 8 {
+			panic(fmt.Sprintf("nn: GEMM kernels support 1..8-bit operands, got %d", op.Bits))
+		}
+		n := 1 << uint(op.Bits)
+		if op.LUT != nil {
+			op.lutPad = make([]uint32, n*padStride)
+			var mx uint32
+			for w := 0; w < n; w++ {
+				row := op.lutPad[w*padStride : w*padStride+n]
+				copy(row, op.LUT[w*n:(w+1)*n])
+				for _, v := range row {
+					if v > mx {
+						mx = v
+					}
+				}
+			}
+			op.lutMax = mx
+		}
+		if op.Grads != nil {
+			op.gwPad = make([]float32, n*padStride)
+			op.gxPad = make([]float32, n*padStride)
+			for w := 0; w < n; w++ {
+				copy(op.gwPad[w*padStride:w*padStride+n], op.Grads.DW[w*n:(w+1)*n])
+				copy(op.gxPad[w*padStride:w*padStride+n], op.Grads.DX[w*n:(w+1)*n])
+			}
+		}
+	})
+}
+
 // pwAt resolves per-tensor (len 1) or per-channel (len outC) weight
 // quantization parameter sets.
 func pwAt(pw []quant.Params, oc int) quant.Params {
@@ -85,164 +137,18 @@ func pwAt(pw []quant.Params, oc int) quant.Params {
 	return pw[oc]
 }
 
-// approxGEMM computes flat[r][oc] = DQ(sum_k AM(wq[oc][k], xq[r][k]))
-// per Eq. (8), plus bias. xq is rows x K, wq is outC x K, both
-// row-major uint8 level indices. pw holds either one per-tensor weight
-// quantization or one entry per output channel (the per-channel
-// extension; Eq. (8) then uses s_w[oc] and Z_w[oc]).
-func (op *Op) approxGEMM(xq, wq []uint8, rows, outC, k int, pw []quant.Params, px quant.Params, bias []float32) *tensor.Tensor {
+func checkPW(pw []quant.Params, outC int) {
 	if len(pw) != 1 && len(pw) != outC {
 		panic("nn: weight quantization params must be per-tensor or per-channel")
 	}
-	out := tensor.New(rows, outC)
-	zx := int64(px.Zero)
-	zw := make([]int64, outC)
-	ss := make([]float32, outC)
-	kzz := make([]int64, outC)
-	for oc := 0; oc < outC; oc++ {
-		p := pwAt(pw, oc)
-		zw[oc] = int64(p.Zero)
-		ss[oc] = p.Scale * px.Scale
-		kzz[oc] = int64(k) * zw[oc] * zx
-	}
-
-	// Per-column and per-row level sums for the Eq. (8) cross terms.
-	sumW := make([]int64, outC)
-	for oc := 0; oc < outC; oc++ {
-		var s int64
-		for _, q := range wq[oc*k : (oc+1)*k] {
-			s += int64(q)
-		}
-		sumW[oc] = s
-	}
-	sumX := make([]int64, rows)
-	for r := 0; r < rows; r++ {
-		var s int64
-		for _, q := range xq[r*k : (r+1)*k] {
-			s += int64(q)
-		}
-		sumX[r] = s
-	}
-
-	bits := uint(op.Bits)
-	lut := op.LUT
-	mulFn := op.MulFn
-	if lut == nil && mulFn == nil {
-		panic("nn: Op has neither a LUT nor a behavioral MulFn")
-	}
-	tensor.ParallelRows(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			xr := xq[r*k : (r+1)*k]
-			or := out.Data[r*outC : (r+1)*outC]
-			for oc := 0; oc < outC; oc++ {
-				wr := wq[oc*k : (oc+1)*k]
-				var sy int64
-				if lut != nil {
-					for i, xv := range xr {
-						sy += int64(lut[int(wr[i])<<bits|int(xv)])
-					}
-				} else {
-					for i, xv := range xr {
-						sy += int64(mulFn(uint32(wr[i]), uint32(xv)))
-					}
-				}
-				acc := sy - zx*sumW[oc] - zw[oc]*sumX[r] + kzz[oc]
-				or[oc] = ss[oc]*float32(acc) + bias[oc]
-			}
-		}
-	})
-	return out
-}
-
-// approxBackward computes the LUT-gradient backward pass (Eq. 9):
-//
-//	dL/dw[oc][k] = sum_r dy[r][oc] * s_x * (dAM/dW - Z_x)
-//	dL/dxcols[r][k] = sum_oc dy[r][oc] * s_w * (dAM/dX - Z_w)
-//
-// Entries whose operand was clipped during quantization receive zero
-// gradient (straight-through clamping). dy is rows x outC row-major.
-func (op *Op) approxBackward(dy []float32, xq, wq []uint8, xClip, wClip []bool,
-	rows, outC, k int, pw []quant.Params, px quant.Params) (dw, dxcols []float32) {
-
-	if len(pw) != 1 && len(pw) != outC {
-		panic("nn: weight quantization params must be per-tensor or per-channel")
-	}
-	dw = make([]float32, outC*k)
-	dxcols = make([]float32, rows*k)
-	zx := float32(px.Zero)
-	swc := make([]float32, outC)
-	zwc := make([]float32, outC)
-	for oc := 0; oc < outC; oc++ {
-		p := pwAt(pw, oc)
-		swc[oc] = p.Scale
-		zwc[oc] = float32(p.Zero)
-	}
-	bits := uint(op.Bits)
-	gw, gx := op.Grads.DW, op.Grads.DX
-
-	// Weight gradients: independent per output channel.
-	tensor.ParallelRows(outC, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			wr := wq[oc*k : (oc+1)*k]
-			dwr := dw[oc*k : (oc+1)*k]
-			for r := 0; r < rows; r++ {
-				g := dy[r*outC+oc]
-				if g == 0 {
-					continue
-				}
-				xr := xq[r*k : (r+1)*k]
-				for i, xv := range xr {
-					idx := int(wr[i])<<bits | int(xv)
-					dwr[i] += g * (gw[idx] - zx)
-				}
-			}
-			for i := range dwr {
-				if wClip[oc*k+i] {
-					dwr[i] = 0
-				} else {
-					dwr[i] *= px.Scale
-				}
-			}
-		}
-	})
-
-	// Input gradients: independent per row. Per-channel weight scales
-	// must multiply inside the channel loop.
-	tensor.ParallelRows(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			xr := xq[r*k : (r+1)*k]
-			dxr := dxcols[r*k : (r+1)*k]
-			for oc := 0; oc < outC; oc++ {
-				g := dy[r*outC+oc]
-				if g == 0 {
-					continue
-				}
-				gs := g * swc[oc]
-				zw := zwc[oc]
-				wr := wq[oc*k : (oc+1)*k]
-				for i, xv := range xr {
-					idx := int(wr[i])<<bits | int(xv)
-					dxr[i] += gs * (gx[idx] - zw)
-				}
-			}
-			for i := range dxr {
-				if xClip[r*k+i] {
-					dxr[i] = 0
-				}
-			}
-		}
-	})
-	return dw, dxcols
 }
 
 // quantizeWithClip quantizes a float slice and records which entries
-// were clamped to the representable range.
+// were clamped to the representable range. It allocates; the layers
+// use quantizeWithClipInto with their scratch arenas instead.
 func quantizeWithClip(data []float32, p quant.Params) (q []uint8, clip []bool) {
 	q = make([]uint8, len(data))
 	clip = make([]bool, len(data))
-	for i, v := range data {
-		q[i] = uint8(p.Quantize(v))
-		clip[i] = p.Clipped(v)
-	}
+	quantizeWithClipInto(q, clip, data, p)
 	return q, clip
 }

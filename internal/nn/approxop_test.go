@@ -35,7 +35,7 @@ func TestOpLabels(t *testing.T) {
 }
 
 // TestApproxGEMMAgainstDirectMath checks the Eq. (8) accumulation in
-// approxGEMM against a literal per-product implementation.
+// both GEMM kernels against a literal per-product implementation.
 func TestApproxGEMMAgainstDirectMath(t *testing.T) {
 	e, _ := appmult.Lookup("mul6u_rm4")
 	op := STEOp(e.Mult)
@@ -53,22 +53,32 @@ func TestApproxGEMMAgainstDirectMath(t *testing.T) {
 		63, 1, 63, 1, 63,
 	}
 	bias := []float32{0.25, -0.5}
-	got := op.approxGEMM(xq, wq, rows, outC, k, []quant.Params{pw}, px, bias)
+	ref := op.ForwardGEMMRef(xq, wq, rows, outC, k, []quant.Params{pw}, px, bias)
+	blocked := make([]float32, rows*outC)
+	op.ForwardGEMM(nil, blocked, xq, wq, rows, outC, k, []quant.Params{pw}, px, bias)
 
-	for r := 0; r < rows; r++ {
-		for oc := 0; oc < outC; oc++ {
-			var want float64
-			for i := 0; i < k; i++ {
-				w := uint32(wq[oc*k+i])
-				x := uint32(xq[r*k+i])
-				y := int64(e.Mult.Mul(w, x))
-				term := float64(pw.Scale) * float64(px.Scale) *
-					float64(y-int64(px.Zero)*int64(w)-int64(pw.Zero)*int64(x)+int64(pw.Zero)*int64(px.Zero))
-				want += term
-			}
-			want += float64(bias[oc])
-			if d := math.Abs(want - float64(got.At(r, oc))); d > 1e-4*math.Max(1, math.Abs(want)) {
-				t.Errorf("gemm[%d][%d] = %v, want %v", r, oc, got.At(r, oc), want)
+	for _, variant := range []struct {
+		name string
+		at   func(r, oc int) float32
+	}{
+		{"reference", func(r, oc int) float32 { return ref.At(r, oc) }},
+		{"blocked", func(r, oc int) float32 { return blocked[r*outC+oc] }},
+	} {
+		for r := 0; r < rows; r++ {
+			for oc := 0; oc < outC; oc++ {
+				var want float64
+				for i := 0; i < k; i++ {
+					w := uint32(wq[oc*k+i])
+					x := uint32(xq[r*k+i])
+					y := int64(e.Mult.Mul(w, x))
+					term := float64(pw.Scale) * float64(px.Scale) *
+						float64(y-int64(px.Zero)*int64(w)-int64(pw.Zero)*int64(x)+int64(pw.Zero)*int64(px.Zero))
+					want += term
+				}
+				want += float64(bias[oc])
+				if d := math.Abs(want - float64(variant.at(r, oc))); d > 1e-4*math.Max(1, math.Abs(want)) {
+					t.Errorf("%s gemm[%d][%d] = %v, want %v", variant.name, r, oc, variant.at(r, oc), want)
+				}
 			}
 		}
 	}
@@ -88,7 +98,10 @@ func TestApproxBackwardAgainstDirectMath(t *testing.T) {
 	dy := []float32{1, -0.5, 0.25, 2}
 	noClip := make([]bool, 6)
 
-	dw, dx := op.approxBackward(dy, xq, wq, noClip, noClip, rows, outC, k, []quant.Params{pw}, px)
+	dw := make([]float32, outC*k)
+	dx := make([]float32, rows*k)
+	gsum := make([]float32, outC)
+	op.BackwardGEMM(nil, dw, dx, gsum, dy, xq, wq, noClip, noClip, rows, outC, k, []quant.Params{pw}, px)
 
 	for oc := 0; oc < outC; oc++ {
 		for i := 0; i < k; i++ {
@@ -129,7 +142,10 @@ func TestApproxBackwardClipMasksZeroGradients(t *testing.T) {
 	dy := []float32{1}
 	xClip := []bool{true, false}
 	wClip := []bool{false, true}
-	dw, dx := op.approxBackward(dy, xq, wq, xClip, wClip, rows, outC, k, []quant.Params{pw}, px)
+	dw := make([]float32, outC*k)
+	dx := make([]float32, rows*k)
+	gsum := make([]float32, outC)
+	op.BackwardGEMM(nil, dw, dx, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, []quant.Params{pw}, px)
 	if dw[1] != 0 {
 		t.Errorf("clipped weight has gradient %v", dw[1])
 	}

@@ -16,8 +16,17 @@ type Conv2D struct {
 	K, Stride, Pad int
 	Weight, Bias   *Param
 	geom           tensor.ConvGeom
-	cols           *tensor.Tensor // cached im2col of the last forward
 	batch          int
+
+	// Scratch arena: buffers sized on first use, reused every step.
+	// cols doubles as the im2col cache consumed by Backward.
+	cols   *tensor.Tensor
+	flat   *tensor.Tensor
+	y      *tensor.Tensor
+	dyFlat *tensor.Tensor
+	dwFlat *tensor.Tensor
+	dcols  *tensor.Tensor
+	dx     *tensor.Tensor
 }
 
 // NewConv2D constructs a convolution with Kaiming-initialized weights.
@@ -44,70 +53,80 @@ func (c *Conv2D) geometry(x *tensor.Tensor) tensor.ConvGeom {
 	return tensor.Geometry(c.InC, x.Shape[2], x.Shape[3], c.OutC, c.K, c.K, c.Stride, c.Pad)
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer
+// and valid until the next Forward call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.geometry(x)
 	c.geom = g
 	c.batch = x.Shape[0]
-	c.cols = tensor.Im2Col(x, g)
+	rows := c.batch * g.OutH * g.OutW
+	c.cols = tensor.Ensure(c.cols, rows, g.K())
+	tensor.Im2ColInto(c.cols, x, g)
 	w2 := c.Weight.Value.Reshape(c.OutC, g.K())
-	flat := tensor.MatMulTransB(c.cols, w2) // (rows, outC)
-	rows := flat.Shape[0]
+	c.flat = tensor.Ensure(c.flat, rows, c.OutC)
+	tensor.MatMulTransBInto(c.flat, c.cols, w2)
 	for r := 0; r < rows; r++ {
 		for oc := 0; oc < c.OutC; oc++ {
-			flat.Data[r*c.OutC+oc] += c.Bias.Value.Data[oc]
+			c.flat.Data[r*c.OutC+oc] += c.Bias.Value.Data[oc]
 		}
 	}
-	return rowsToNCHW(flat, c.batch, g)
+	c.y = tensor.Ensure(c.y, c.batch, g.OutC, g.OutH, g.OutW)
+	rowsToNCHWInto(c.y, c.flat, c.batch, g)
+	return c.y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and valid until the next Backward call.
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
-	dyFlat := nchwToRows(dy, g) // (rows, outC)
+	rows := c.batch * g.OutH * g.OutW
+	c.dyFlat = tensor.Ensure(c.dyFlat, rows, c.OutC)
+	nchwToRowsInto(c.dyFlat, dy, g)
 	// Weight gradient: dW = dyFlatᵀ (outC x rows) * cols (rows x K).
-	dW := tensor.MatMulTransA(dyFlat, c.cols) // (outC, K)
-	c.Weight.Grad.Add(dW.Reshape(c.Weight.Grad.Shape...))
+	c.dwFlat = tensor.Ensure(c.dwFlat, c.OutC, g.K())
+	tensor.MatMulTransAInto(c.dwFlat, c.dyFlat, c.cols)
+	for i, v := range c.dwFlat.Data {
+		c.Weight.Grad.Data[i] += v
+	}
 	// Bias gradient.
-	rows := dyFlat.Shape[0]
 	for r := 0; r < rows; r++ {
 		for oc := 0; oc < c.OutC; oc++ {
-			c.Bias.Grad.Data[oc] += dyFlat.Data[r*c.OutC+oc]
+			c.Bias.Grad.Data[oc] += c.dyFlat.Data[r*c.OutC+oc]
 		}
 	}
 	// Input gradient.
 	w2 := c.Weight.Value.Reshape(c.OutC, g.K())
-	dcols := tensor.MatMul(dyFlat, w2) // (rows, K)
-	return tensor.Col2Im(dcols, c.batch, g)
+	c.dcols = tensor.Ensure(c.dcols, rows, g.K())
+	tensor.MatMulInto(c.dcols, c.dyFlat, w2)
+	c.dx = tensor.Ensure(c.dx, c.batch, g.InC, g.InH, g.InW)
+	tensor.Col2ImInto(c.dx, c.dcols, c.batch, g)
+	return c.dx
 }
 
-// rowsToNCHW converts a (N*OH*OW, outC) matrix into NCHW.
-func rowsToNCHW(flat *tensor.Tensor, n int, g tensor.ConvGeom) *tensor.Tensor {
-	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
+// rowsToNCHWInto converts a (N*OH*OW, outC) matrix into NCHW in dst.
+func rowsToNCHWInto(dst, flat *tensor.Tensor, n int, g tensor.ConvGeom) {
 	hw := g.OutH * g.OutW
 	for img := 0; img < n; img++ {
 		for p := 0; p < hw; p++ {
 			row := img*hw + p
 			for oc := 0; oc < g.OutC; oc++ {
-				out.Data[(img*g.OutC+oc)*hw+p] = flat.Data[row*g.OutC+oc]
+				dst.Data[(img*g.OutC+oc)*hw+p] = flat.Data[row*g.OutC+oc]
 			}
 		}
 	}
-	return out
 }
 
-// nchwToRows converts NCHW into the (N*OH*OW, outC) row layout.
-func nchwToRows(x *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
+// nchwToRowsInto converts NCHW into the (N*OH*OW, outC) row layout in
+// dst.
+func nchwToRowsInto(dst, x *tensor.Tensor, g tensor.ConvGeom) {
 	n := x.Shape[0]
 	hw := g.OutH * g.OutW
-	out := tensor.New(n*hw, g.OutC)
 	for img := 0; img < n; img++ {
 		for p := 0; p < hw; p++ {
 			row := img*hw + p
 			for oc := 0; oc < g.OutC; oc++ {
-				out.Data[row*g.OutC+oc] = x.Data[(img*g.OutC+oc)*hw+p]
+				dst.Data[row*g.OutC+oc] = x.Data[(img*g.OutC+oc)*hw+p]
 			}
 		}
 	}
-	return out
 }

@@ -1,0 +1,660 @@
+package nn
+
+import (
+	"math"
+	"sync"
+
+	"github.com/appmult/retrain/internal/quant"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// This file implements the cache-blocked, allocation-free approximate
+// GEMM kernels that replace the naive reference kernels
+// (kernels_ref.go) on the training hot path.
+//
+// The key observation is that one operand of every LUT gather is a
+// weight level that stays fixed while the GEMM scans rows: hoisting
+// the LUT row for that weight turns the gather stream from random
+// accesses into a full 2^(2B)-entry table (256 KiB at 8 bits, L2 at
+// best) into repeated hits on one padded 1 KiB row that stays L1
+// resident. Operand tiles are transposed so the row-scan direction is
+// contiguous, accumulation happens in int32 whenever the LUT's largest
+// product times k provably fits (always true for B <= 7 and every
+// realistic k at B = 8), and every scratch buffer lives in a reusable
+// KernelScratch arena so steady-state steps allocate nothing.
+//
+// Bit-exactness with the reference kernels is guaranteed by
+// construction: the integer forward accumulation is order-independent,
+// and the backward float accumulations keep the reference summands and
+// per-destination accumulation order (ascending r for weight
+// gradients, ascending oc for input gradients), so the equivalence
+// tests can require exact equality. See kernel_equiv_test.go.
+
+// Blocking parameters. fwdRowTile rows of a fwdKTile-wide operand
+// tile occupy 16 KiB — half a typical L1d — leaving room for the hot
+// LUT rows and accumulators; transTile is the square tile of the
+// operand transposes.
+const (
+	fwdRowTile = 64
+	fwdKTile   = 256
+	transTile  = 64
+)
+
+// KernelScratch is the reusable buffer arena for the blocked kernels.
+// Each layer owns one; buffers grow on first use and are reused for
+// every subsequent step, so the kernels allocate nothing in steady
+// state. The zero value is ready to use.
+type KernelScratch struct {
+	// Forward: per-channel dequantization constants and Eq. (8) cross
+	// terms.
+	zw   []int64
+	ss   []float32
+	kzz  []int64
+	sumW []int64
+	sumX []int64
+	// Backward: per-channel scales and the operand/gradient transposes
+	// (xT and dxT are k x rows, dyT is outC x rows).
+	swc []float32
+	zwc []float32
+	xT  []uint8
+	dyT []float32
+	dxT []float32
+}
+
+// grow returns s resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// fwdTile holds one worker's private forward accumulators. Tiles are
+// pooled so concurrent row blocks never share accumulators and
+// steady-state steps still allocate nothing.
+type fwdTile struct {
+	xt    []uint8
+	acc32 []int32
+	acc64 []int64
+}
+
+var fwdTilePool = sync.Pool{New: func() any { return new(fwdTile) }}
+
+// ForwardGEMM is the blocked counterpart of ForwardGEMMRef, writing
+// the (rows x outC) result into dst. s may be nil for one-off calls
+// (a temporary arena is then used).
+func (op *Op) ForwardGEMM(s *KernelScratch, dst []float32, xq, wq []uint8, rows, outC, k int, pw []quant.Params, px quant.Params, bias []float32) {
+	checkPW(pw, outC)
+	if len(dst) != rows*outC {
+		panic("nn: ForwardGEMM destination has wrong size")
+	}
+	if s == nil {
+		s = &KernelScratch{}
+	}
+	op.ensurePadded()
+
+	zx := int64(px.Zero)
+	s.zw = grow(s.zw, outC)
+	s.ss = grow(s.ss, outC)
+	s.kzz = grow(s.kzz, outC)
+	for oc := 0; oc < outC; oc++ {
+		p := pwAt(pw, oc)
+		s.zw[oc] = int64(p.Zero)
+		s.ss[oc] = p.Scale * px.Scale
+		s.kzz[oc] = int64(k) * s.zw[oc] * zx
+	}
+
+	// Eq. (8) cross terms: per-column and per-row level sums.
+	s.sumW = grow(s.sumW, outC)
+	tensor.ParallelRows(outC, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			var sum int64
+			for _, q := range wq[oc*k : (oc+1)*k] {
+				sum += int64(q)
+			}
+			s.sumW[oc] = sum
+		}
+	})
+	s.sumX = grow(s.sumX, rows)
+	tensor.ParallelRows(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			var sum int64
+			for _, q := range xq[r*k : (r+1)*k] {
+				sum += int64(q)
+			}
+			s.sumX[r] = sum
+		}
+	})
+
+	if op.lutPad == nil {
+		if op.MulFn == nil {
+			panic("nn: Op has neither a LUT nor a behavioral MulFn")
+		}
+		op.forwardBehavioral(s, dst, xq, wq, rows, outC, k, px, bias)
+		return
+	}
+
+	// int32 accumulation is safe when the worst-case row sum fits;
+	// lutMax*k also bounds the true sum for every smaller operand.
+	use32 := uint64(op.lutMax)*uint64(k) <= math.MaxInt32
+	lutPad := op.lutPad
+	tensor.ParallelBlocks(rows, fwdRowTile, func(lo, hi int) {
+		t := fwdTilePool.Get().(*fwdTile)
+		nR := hi - lo
+		t.xt = grow(t.xt, fwdKTile*nR)
+		if use32 {
+			t.acc32 = grow(t.acc32, outC*nR)
+			gemmAccumTiles(t.acc32, t.xt, lutPad, xq, wq, lo, nR, outC, k)
+			fwdEpilogue(dst, t.acc32, s, bias, lo, nR, outC, zx)
+		} else {
+			t.acc64 = grow(t.acc64, outC*nR)
+			gemmAccumTiles(t.acc64, t.xt, lutPad, xq, wq, lo, nR, outC, k)
+			fwdEpilogue(dst, t.acc64, s, bias, lo, nR, outC, zx)
+		}
+		fwdTilePool.Put(t)
+	})
+}
+
+// gemmAccumTiles accumulates acc[oc][r] = sum_i LUT[wq[oc][i], xq[lo+r][i]]
+// over k tiles. The operand tile is transposed once per k tile so the
+// inner gather loop walks contiguous memory, and the hoisted LUT row
+// (padStride entries, uint8 index) is gathered without bounds checks.
+func gemmAccumTiles[T int32 | int64](acc []T, xt []uint8, lutPad []uint32, xq, wq []uint8, lo, nR, outC, k int) {
+	for i := range acc {
+		acc[i] = 0
+	}
+	for kb := 0; kb < k; kb += fwdKTile {
+		nK := k - kb
+		if nK > fwdKTile {
+			nK = fwdKTile
+		}
+		transposeTileU8(xt, xq, lo, nR, kb, nK, k)
+		for oc := 0; oc < outC; oc++ {
+			accRow := acc[oc*nR : oc*nR+nR]
+			wr := wq[oc*k+kb : oc*k+kb+nK]
+			// Four k entries share one pass over the accumulator row,
+			// quartering its load/store traffic; integer addition is
+			// associative, so the grouping cannot change the result.
+			i := 0
+			for ; i+3 < nK; i += 4 {
+				lr0 := lutPad[int(wr[i])*padStride : int(wr[i])*padStride+padStride]
+				lr1 := lutPad[int(wr[i+1])*padStride : int(wr[i+1])*padStride+padStride]
+				lr2 := lutPad[int(wr[i+2])*padStride : int(wr[i+2])*padStride+padStride]
+				lr3 := lutPad[int(wr[i+3])*padStride : int(wr[i+3])*padStride+padStride]
+				x0 := xt[i*nR : i*nR+nR]
+				x1 := xt[(i+1)*nR : (i+1)*nR+nR][:len(x0)]
+				x2 := xt[(i+2)*nR : (i+2)*nR+nR][:len(x0)]
+				x3 := xt[(i+3)*nR : (i+3)*nR+nR][:len(x0)]
+				ar := accRow[:len(x0)]
+				for r, xv := range x0 {
+					ar[r] += T(lr0[xv]) + T(lr1[x1[r]]) + T(lr2[x2[r]]) + T(lr3[x3[r]])
+				}
+			}
+			for ; i < nK; i++ {
+				lr := lutPad[int(wr[i])*padStride : int(wr[i])*padStride+padStride]
+				xcol := xt[i*nR : i*nR+nR]
+				for r, xv := range xcol {
+					accRow[r] += T(lr[xv])
+				}
+			}
+		}
+	}
+}
+
+// transposeTileU8 writes the (nR x nK) operand tile starting at row lo,
+// column kb of the (rows x k) matrix xq into xt in (nK x nR) layout.
+// The bulk moves through 8x8 byte blocks held in uint64 registers
+// (transpose8x8), turning 64 single-byte load/store pairs into 16
+// word-sized memory operations plus shifts — the naive byte loop was a
+// quarter of the whole forward kernel.
+func transposeTileU8(xt, xq []uint8, lo, nR, kb, nK, k int) {
+	r := 0
+	for ; r+7 < nR; r += 8 {
+		i := 0
+		for ; i+7 < nK; i += 8 {
+			var v [8]uint64
+			for j := 0; j < 8; j++ {
+				v[j] = leU64(xq[(lo+r+j)*k+kb+i:])
+			}
+			transpose8x8(&v)
+			for j := 0; j < 8; j++ {
+				putLeU64(xt[(i+j)*nR+r:], v[j])
+			}
+		}
+		for ; i < nK; i++ {
+			col := xt[i*nR+r : i*nR+r+8]
+			for j := range col {
+				col[j] = xq[(lo+r+j)*k+kb+i]
+			}
+		}
+	}
+	for ; r < nR; r++ {
+		row := xq[(lo+r)*k+kb : (lo+r)*k+kb+nK]
+		for i, v := range row {
+			xt[i*nR+r] = v
+		}
+	}
+}
+
+// transpose8x8 transposes an 8x8 byte matrix held as 8 little-endian
+// uint64 rows, by butterfly exchanges at byte distance 4, 2, 1 (the
+// Hacker's Delight bit-matrix transpose with bytes as the unit).
+func transpose8x8(v *[8]uint64) {
+	for j := 0; j < 4; j++ {
+		t := ((v[j] >> 32) ^ v[j+4]) & 0x00000000FFFFFFFF
+		v[j] ^= t << 32
+		v[j+4] ^= t
+	}
+	for _, j := range [4]int{0, 1, 4, 5} {
+		t := ((v[j] >> 16) ^ v[j+2]) & 0x0000FFFF0000FFFF
+		v[j] ^= t << 16
+		v[j+2] ^= t
+	}
+	for j := 0; j < 8; j += 2 {
+		t := ((v[j] >> 8) ^ v[j+1]) & 0x00FF00FF00FF00FF
+		v[j] ^= t << 8
+		v[j+1] ^= t
+	}
+}
+
+func leU64(b []uint8) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []uint8, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// fwdEpilogue applies the Eq. (8) zero-point corrections and
+// dequantization, matching the reference expression exactly.
+func fwdEpilogue[T int32 | int64](dst []float32, acc []T, s *KernelScratch, bias []float32, lo, nR, outC int, zx int64) {
+	for r := 0; r < nR; r++ {
+		or := dst[(lo+r)*outC : (lo+r+1)*outC]
+		sx := s.sumX[lo+r]
+		for oc := range or {
+			a := int64(acc[oc*nR+r]) - zx*s.sumW[oc] - s.zw[oc]*sx + s.kzz[oc]
+			or[oc] = s.ss[oc]*float32(a) + bias[oc]
+		}
+	}
+}
+
+// forwardBehavioral evaluates MulFn per MAC — the [12]-style simulation
+// path. It shares the scratch arena and pool scheduling but cannot
+// hoist LUT rows; the LUT-vs-behavioral gap is exactly what
+// BenchmarkKernel_BehavioralVsLUTForward measures.
+func (op *Op) forwardBehavioral(s *KernelScratch, dst []float32, xq, wq []uint8, rows, outC, k int, px quant.Params, bias []float32) {
+	mulFn := op.MulFn
+	zx := int64(px.Zero)
+	tensor.ParallelRows(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xr := xq[r*k : (r+1)*k]
+			or := dst[r*outC : (r+1)*outC]
+			for oc := 0; oc < outC; oc++ {
+				wr := wq[oc*k : (oc+1)*k]
+				var sy int64
+				for i, xv := range xr {
+					sy += int64(mulFn(uint32(wr[i]), uint32(xv)))
+				}
+				acc := sy - zx*s.sumW[oc] - s.zw[oc]*s.sumX[r] + s.kzz[oc]
+				or[oc] = s.ss[oc]*float32(acc) + bias[oc]
+			}
+		}
+	})
+}
+
+// BackwardGEMM is the blocked counterpart of BackwardGEMMRef. It
+// writes the weight gradient into dw (outC x k), the patch-matrix
+// input gradient into dxcols (rows x k), and the per-channel column
+// sums of dy into gsum (outC) — the bias gradient, folded in here so
+// the layers need no separate scalar accumulation pass. s may be nil
+// for one-off calls.
+func (op *Op) BackwardGEMM(s *KernelScratch, dw, dxcols, gsum, dy []float32, xq, wq []uint8, xClip, wClip []bool,
+	rows, outC, k int, pw []quant.Params, px quant.Params) {
+
+	checkPW(pw, outC)
+	if len(dw) != outC*k || len(dxcols) != rows*k || len(gsum) != outC {
+		panic("nn: BackwardGEMM destination has wrong size")
+	}
+	if s == nil {
+		s = &KernelScratch{}
+	}
+	op.ensurePadded()
+	if outC*k < backwardBlockMin {
+		op.backwardSmall(dw, dxcols, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
+		return
+	}
+
+	s.swc = grow(s.swc, outC)
+	s.zwc = grow(s.zwc, outC)
+	for oc := 0; oc < outC; oc++ {
+		p := pwAt(pw, oc)
+		s.swc[oc] = p.Scale
+		s.zwc[oc] = float32(p.Zero)
+	}
+
+	// Operand and upstream-gradient transposes: xT and dxT are
+	// (k x rows) so the backward gather loops scan rows contiguously;
+	// dyT is (outC x rows) for the same reason.
+	s.xT = grow(s.xT, k*rows)
+	transposeU8(s.xT, xq, rows, k)
+	s.dyT = grow(s.dyT, outC*rows)
+	transposeF32(s.dyT, dy, rows, outC)
+	s.dxT = grow(s.dxT, k*rows)
+
+	// Column sums of dy, accumulated in ascending r exactly like the
+	// layers' original bias loop.
+	tensor.ParallelRows(outC, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			var sum float32
+			for _, g := range s.dyT[oc*rows : (oc+1)*rows] {
+				sum += g
+			}
+			gsum[oc] = sum
+		}
+	})
+
+	zx := float32(px.Zero)
+	gwPad, gxPad := op.gwPad, op.gxPad
+
+	// Weight gradients: independent per output channel. For each
+	// (oc, i) the weight level — and so the gradient-LUT row — is
+	// fixed; the scan over r accumulates in ascending order into a
+	// scalar, preserving the reference float semantics bit for bit.
+	// Pairs of k columns share one scan of dy (one load and zero-test
+	// per upstream gradient instead of two); the per-column scalars
+	// stay independent, so the pairing cannot change the result.
+	tensor.ParallelRows(outC, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			dyc := s.dyT[oc*rows : (oc+1)*rows]
+			wr := wq[oc*k : (oc+1)*k]
+			dwr := dw[oc*k : (oc+1)*k]
+			i := 0
+			for ; i+1 < len(wr); i += 2 {
+				gw0 := gwPad[int(wr[i])*padStride : int(wr[i])*padStride+padStride]
+				gw1 := gwPad[int(wr[i+1])*padStride : int(wr[i+1])*padStride+padStride]
+				x0 := s.xT[i*rows : i*rows+rows][:len(dyc)]
+				x1 := s.xT[(i+1)*rows : (i+1)*rows+rows][:len(dyc)]
+				var acc0, acc1 float32
+				for r, g := range dyc {
+					if g == 0 {
+						continue
+					}
+					acc0 += g * (gw0[x0[r]] - zx)
+					acc1 += g * (gw1[x1[r]] - zx)
+				}
+				dwr[i] = acc0
+				dwr[i+1] = acc1
+			}
+			if i < len(wr) {
+				gw := gwPad[int(wr[i])*padStride : int(wr[i])*padStride+padStride]
+				xrow := s.xT[i*rows : i*rows+rows][:len(dyc)]
+				var acc float32
+				for r, g := range dyc {
+					if g == 0 {
+						continue
+					}
+					acc += g * (gw[xrow[r]] - zx)
+				}
+				dwr[i] = acc
+			}
+			for i := range dwr {
+				if wClip[oc*k+i] {
+					dwr[i] = 0
+				} else {
+					dwr[i] *= px.Scale
+				}
+			}
+		}
+	})
+
+	// Input gradients: each k column of dxT is touched by every output
+	// channel but by no other column, so columns parallelize freely.
+	// The oc loop stays outermost-ascending per destination, matching
+	// the reference accumulation order; paired columns share one scan
+	// of dy without mixing their accumulators.
+	tensor.ParallelBlocks(k, transTile, func(lo, hi int) {
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			x0 := s.xT[i*rows : i*rows+rows]
+			x1 := s.xT[(i+1)*rows : (i+1)*rows+rows]
+			d0 := s.dxT[i*rows : i*rows+rows]
+			d1 := s.dxT[(i+1)*rows : (i+1)*rows+rows]
+			for r := range d0 {
+				d0[r] = 0
+			}
+			for r := range d1 {
+				d1[r] = 0
+			}
+			for oc := 0; oc < outC; oc++ {
+				gx0 := gxPad[int(wq[oc*k+i])*padStride : int(wq[oc*k+i])*padStride+padStride]
+				gx1 := gxPad[int(wq[oc*k+i+1])*padStride : int(wq[oc*k+i+1])*padStride+padStride]
+				dyc := s.dyT[oc*rows : (oc+1)*rows]
+				sw := s.swc[oc]
+				zw := s.zwc[oc]
+				d0v := d0[:len(dyc)]
+				d1v := d1[:len(dyc)]
+				x0v := x0[:len(dyc)]
+				x1v := x1[:len(dyc)]
+				for r, g := range dyc {
+					if g == 0 {
+						continue
+					}
+					gs := g * sw
+					d0v[r] += gs * (gx0[x0v[r]] - zw)
+					d1v[r] += gs * (gx1[x1v[r]] - zw)
+				}
+			}
+		}
+		if i < hi {
+			xrow := s.xT[i*rows : i*rows+rows]
+			dxr := s.dxT[i*rows : i*rows+rows]
+			for r := range dxr {
+				dxr[r] = 0
+			}
+			for oc := 0; oc < outC; oc++ {
+				wv := wq[oc*k+i]
+				gx := gxPad[int(wv)*padStride : int(wv)*padStride+padStride]
+				dyc := s.dyT[oc*rows : (oc+1)*rows]
+				sw := s.swc[oc]
+				zw := s.zwc[oc]
+				dxv := dxr[:len(dyc)]
+				xv := xrow[:len(dyc)]
+				for r, g := range dyc {
+					if g == 0 {
+						continue
+					}
+					dxv[r] += (g * sw) * (gx[xv[r]] - zw)
+				}
+			}
+		}
+	})
+
+	// Transpose back to row-major and apply the straight-through clip
+	// mask (zero gradient for operands clamped during quantization).
+	tensor.ParallelBlocks(rows, transTile, func(lo, hi int) {
+		for rb := lo; rb < hi; rb += transTile {
+			rhi := rb + transTile
+			if rhi > hi {
+				rhi = hi
+			}
+			for ib := 0; ib < k; ib += transTile {
+				ihi := ib + transTile
+				if ihi > k {
+					ihi = k
+				}
+				for r := rb; r < rhi; r++ {
+					for i := ib; i < ihi; i++ {
+						v := s.dxT[i*rows+r]
+						if xClip[r*k+i] {
+							v = 0
+						}
+						dxcols[r*k+i] = v
+					}
+				}
+			}
+		}
+	})
+}
+
+// backwardBlockMin is the outC*k size below which BackwardGEMM uses
+// the untransposed small-shape path: the blocked kernel pays four
+// O(rows*k) transpose/zero passes, which only amortize once each k
+// column is shared by enough output channels. Early layers of narrow
+// models (outC of 2-8, k under ~100) sit below the break-even point.
+// A variable, not a constant, so tests can force either path.
+var backwardBlockMin = 2048
+
+// backwardSmall is the reference-shaped backward used below
+// backwardBlockMin: the same loops as BackwardGEMMRef (hence bit-exact
+// with it by construction) writing into the caller's buffers, plus the
+// folded gsum accumulation. The g == 0 test hoisted per (r, oc) skips
+// whole k walks, which the column-blocked kernel cannot do.
+func (op *Op) backwardSmall(dw, dxcols, gsum, dy []float32, xq, wq []uint8, xClip, wClip []bool,
+	rows, outC, k int, pw []quant.Params, px quant.Params) {
+
+	zx := float32(px.Zero)
+	bits := uint(op.Bits)
+	gw, gx := op.Grads.DW, op.Grads.DX
+
+	tensor.ParallelRows(outC, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			wr := wq[oc*k : (oc+1)*k]
+			dwr := dw[oc*k : (oc+1)*k]
+			for i := range dwr {
+				dwr[i] = 0
+			}
+			var sum float32
+			for r := 0; r < rows; r++ {
+				g := dy[r*outC+oc]
+				sum += g
+				if g == 0 {
+					continue
+				}
+				xr := xq[r*k : (r+1)*k]
+				for i, xv := range xr {
+					idx := int(wr[i])<<bits | int(xv)
+					dwr[i] += g * (gw[idx] - zx)
+				}
+			}
+			gsum[oc] = sum
+			for i := range dwr {
+				if wClip[oc*k+i] {
+					dwr[i] = 0
+				} else {
+					dwr[i] *= px.Scale
+				}
+			}
+		}
+	})
+
+	tensor.ParallelRows(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xr := xq[r*k : (r+1)*k]
+			dxr := dxcols[r*k : (r+1)*k]
+			for i := range dxr {
+				dxr[i] = 0
+			}
+			for oc := 0; oc < outC; oc++ {
+				g := dy[r*outC+oc]
+				if g == 0 {
+					continue
+				}
+				p := pwAt(pw, oc)
+				gs := g * p.Scale
+				zw := float32(p.Zero)
+				wr := wq[oc*k : (oc+1)*k]
+				for i, xv := range xr {
+					idx := int(wr[i])<<bits | int(xv)
+					dxr[i] += gs * (gx[idx] - zw)
+				}
+			}
+			for i := range dxr {
+				if xClip[r*k+i] {
+					dxr[i] = 0
+				}
+			}
+		}
+	})
+}
+
+// transposeU8 writes the (rows x cols) matrix src into dst in
+// (cols x rows) layout, in cache-sized tiles moved through the same
+// 8x8 uint64 block kernel as transposeTileU8.
+func transposeU8(dst, src []uint8, rows, cols int) {
+	tensor.ParallelBlocks(cols, transTile, func(lo, hi int) {
+		for rb := 0; rb < rows; rb += transTile {
+			rhi := rb + transTile
+			if rhi > rows {
+				rhi = rows
+			}
+			i := lo
+			for ; i+7 < hi; i += 8 {
+				r := rb
+				for ; r+7 < rhi; r += 8 {
+					var v [8]uint64
+					for j := 0; j < 8; j++ {
+						v[j] = leU64(src[(r+j)*cols+i:])
+					}
+					transpose8x8(&v)
+					for j := 0; j < 8; j++ {
+						putLeU64(dst[(i+j)*rows+r:], v[j])
+					}
+				}
+				for ; r < rhi; r++ {
+					row := src[r*cols:]
+					for j := 0; j < 8; j++ {
+						dst[(i+j)*rows+r] = row[i+j]
+					}
+				}
+			}
+			for ; i < hi; i++ {
+				for r := rb; r < rhi; r++ {
+					dst[i*rows+r] = src[r*cols+i]
+				}
+			}
+		}
+	})
+}
+
+// transposeF32 is transposeU8 for float32 matrices.
+func transposeF32(dst, src []float32, rows, cols int) {
+	tensor.ParallelBlocks(cols, transTile, func(lo, hi int) {
+		for rb := 0; rb < rows; rb += transTile {
+			rhi := rb + transTile
+			if rhi > rows {
+				rhi = rows
+			}
+			for r := rb; r < rhi; r++ {
+				row := src[r*cols:]
+				for i := lo; i < hi; i++ {
+					dst[i*rows+r] = row[i]
+				}
+			}
+		}
+	})
+}
+
+// quantizeWithClipInto quantizes a float slice into caller-owned level
+// and clip buffers (see quant.Params.Quantize), scheduling blocks on
+// the worker pool — quantization is a measurable share of the forward
+// pass at training batch sizes.
+func quantizeWithClipInto(q []uint8, clip []bool, data []float32, p quant.Params) {
+	tensor.ParallelBlocks(len(data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := data[i]
+			q[i] = uint8(p.Quantize(v))
+			clip[i] = p.Clipped(v)
+		}
+	})
+}

@@ -87,6 +87,13 @@ type ApproxLinear struct {
 	xClip, wClip []bool
 	pw           []quant.Params
 	px           quant.Params
+
+	// Scratch arena: buffers sized on first use, reused every step.
+	ks   KernelScratch
+	out  *tensor.Tensor
+	dx   *tensor.Tensor
+	dw   []float32
+	gsum []float32
 }
 
 // NewApproxLinear constructs an approximate fully connected layer.
@@ -113,7 +120,8 @@ func (l *ApproxLinear) Op() *Op { return l.op }
 // SetOp swaps the multiplier/gradient bundle.
 func (l *ApproxLinear) SetOp(op *Op) { l.op = op }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer
+// and valid until the next Forward call.
 func (l *ApproxLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != l.In {
 		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.name, l.In, x.Shape))
@@ -123,24 +131,34 @@ func (l *ApproxLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	l.px = l.Observer.Params(l.op.Bits)
 	p := quant.CalibrateTensor(l.Weight.Value, l.op.Bits)
-	l.pw = []quant.Params{p}
+	l.pw = grow(l.pw, 1)
+	l.pw[0] = p
 	l.rows = x.Shape[0]
-	l.xq, l.xClip = quantizeWithClip(x.Data, l.px)
-	l.wq, l.wClip = quantizeWithClip(l.Weight.Value.Data, p)
-	return l.op.approxGEMM(l.xq, l.wq, l.rows, l.Out, l.In, l.pw, l.px, l.Bias.Value.Data)
+	l.xq = grow(l.xq, len(x.Data))
+	l.xClip = grow(l.xClip, len(x.Data))
+	quantizeWithClipInto(l.xq, l.xClip, x.Data, l.px)
+	nw := len(l.Weight.Value.Data)
+	l.wq = grow(l.wq, nw)
+	l.wClip = grow(l.wClip, nw)
+	quantizeWithClipInto(l.wq, l.wClip, l.Weight.Value.Data, p)
+	l.out = tensor.Ensure(l.out, l.rows, l.Out)
+	l.op.ForwardGEMM(&l.ks, l.out.Data, l.xq, l.wq, l.rows, l.Out, l.In, l.pw, l.px, l.Bias.Value.Data)
+	return l.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and valid until the next Backward call.
 func (l *ApproxLinear) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dw, dx := l.op.approxBackward(dy.Data, l.xq, l.wq, l.xClip, l.wClip,
+	l.dw = grow(l.dw, l.Out*l.In)
+	l.gsum = grow(l.gsum, l.Out)
+	l.dx = tensor.Ensure(l.dx, l.rows, l.In)
+	l.op.BackwardGEMM(&l.ks, l.dw, l.dx.Data, l.gsum, dy.Data, l.xq, l.wq, l.xClip, l.wClip,
 		l.rows, l.Out, l.In, l.pw, l.px)
-	for i, v := range dw {
+	for i, v := range l.dw {
 		l.Weight.Grad.Data[i] += v
 	}
-	for r := 0; r < l.rows; r++ {
-		for j := 0; j < l.Out; j++ {
-			l.Bias.Grad.Data[j] += dy.Data[r*l.Out+j]
-		}
+	for j, v := range l.gsum {
+		l.Bias.Grad.Data[j] += v
 	}
-	return tensor.FromData(dx, l.rows, l.In)
+	return l.dx
 }

@@ -151,6 +151,6 @@ func TestApproxGEMMRejectsBadParamArity(t *testing.T) {
 		}
 	}()
 	px := quant.Calibrate(0, 1, 6)
-	op.approxGEMM(make([]uint8, 4), make([]uint8, 4), 2, 2, 2,
+	op.ForwardGEMM(nil, make([]float32, 4), make([]uint8, 4), make([]uint8, 4), 2, 2, 2,
 		nil, px, make([]float32, 2))
 }

@@ -32,9 +32,20 @@ func (g ConvGeom) K() int { return g.InC * g.KH * g.KW }
 // Padding positions are zero.
 func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	n := x.Shape[0]
-	rows := n * g.OutH * g.OutW
+	out := New(n*g.OutH*g.OutW, g.K())
+	Im2ColInto(out, x, g)
+	return out
+}
+
+// Im2ColInto is Im2Col writing into dst, which must be
+// (N*outH*outW, K). Every position is written (padding positions get
+// explicit zeros), so dst may hold stale data from a previous step.
+func Im2ColInto(dst, x *Tensor, g ConvGeom) {
+	n := x.Shape[0]
 	k := g.K()
-	out := New(rows, k)
+	if dst.Shape[0] != n*g.OutH*g.OutW || dst.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: Im2Col destination %v does not match geometry", dst.Shape))
+	}
 	chw := g.InC * g.InH * g.InW
 	ParallelRows(n, func(lo, hi int) {
 		for img := lo; img < hi; img++ {
@@ -50,7 +61,9 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 							for kx := 0; kx < g.KW; kx++ {
 								ix := ox*g.Stride - g.Pad + kx
 								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
-									out.Data[row+col] = x.Data[cbase+iy*g.InW+ix]
+									dst.Data[row+col] = x.Data[cbase+iy*g.InW+ix]
+								} else {
+									dst.Data[row+col] = 0
 								}
 								col++
 							}
@@ -60,23 +73,35 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Col2Im scatters a patch-matrix gradient (N*outH*outW, K) back into an
 // NCHW input gradient, accumulating overlaps — the adjoint of Im2Col.
 func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
+	out := New(n, g.InC, g.InH, g.InW)
+	Col2ImInto(out, cols, n, g)
+	return out
+}
+
+// Col2ImInto is Col2Im writing into dst, which must be NCHW of the
+// geometry's input shape. dst is zeroed before accumulation.
+func Col2ImInto(dst, cols *Tensor, n int, g ConvGeom) {
 	k := g.K()
 	if cols.Shape[0] != n*g.OutH*g.OutW || cols.Shape[1] != k {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match geometry", cols.Shape))
 	}
-	out := New(n, g.InC, g.InH, g.InW)
 	chw := g.InC * g.InH * g.InW
+	if len(dst.Data) != n*chw {
+		panic(fmt.Sprintf("tensor: Col2Im destination %v does not match geometry", dst.Shape))
+	}
 	// Parallel over images: each image's scatter touches only its own
 	// output region, so no synchronization is needed.
 	ParallelRows(n, func(lo, hi int) {
 		for img := lo; img < hi; img++ {
 			base := img * chw
+			for i := base; i < base+chw; i++ {
+				dst.Data[i] = 0
+			}
 			for oy := 0; oy < g.OutH; oy++ {
 				for ox := 0; ox < g.OutW; ox++ {
 					row := ((img*g.OutH+oy)*g.OutW + ox) * k
@@ -88,7 +113,7 @@ func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
 							for kx := 0; kx < g.KW; kx++ {
 								ix := ox*g.Stride - g.Pad + kx
 								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
-									out.Data[cbase+iy*g.InW+ix] += cols.Data[row+col]
+									dst.Data[cbase+iy*g.InW+ix] += cols.Data[row+col]
 								}
 								col++
 							}
@@ -98,5 +123,4 @@ func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
 			}
 		}
 	})
-	return out
 }

@@ -1,15 +1,24 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
-// MatMul returns A (m x k) times B (k x n) as a new (m x n) tensor,
-// parallelized across row blocks. It is the GEMM under the float
-// convolution and linear layers.
+// The GEMM kernels come in two forms: allocating wrappers (MatMul,
+// MatMulTransB, MatMulTransA) that keep the original API, and *Into
+// variants that write into a caller-owned destination so steady-state
+// training steps allocate nothing. All of them schedule row blocks on
+// the persistent worker pool (see pool.go).
+
+// MatMul returns A (m x k) times B (k x n) as a new (m x n) tensor.
 func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes A (m x k) times B (k x n) into dst (m x n),
+// overwriting it. It is the GEMM under the float convolution and
+// linear layers.
+func MatMulInto(dst, a, b *Tensor) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v x %v", a.Shape, b.Shape))
 	}
@@ -18,11 +27,14 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v x %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	parallelRows(m, func(lo, hi int) {
+	checkDst(dst, m, n)
+	ParallelRows(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := a.Data[i*k : (i+1)*k]
-			or := out.Data[i*n : (i+1)*n]
+			or := dst.Data[i*n : (i+1)*n]
+			for j := range or {
+				or[j] = 0
+			}
 			for p, av := range ar {
 				if av == 0 {
 					continue
@@ -34,12 +46,19 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	})
+}
+
+// MatMulTransB returns A (m x k) times Bᵀ where B is (n x k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[0])
+	MatMulTransBInto(out, a, b)
 	return out
 }
 
-// MatMulTransB returns A (m x k) times Bᵀ where B is (n x k): a fused
-// kernel for backward passes that avoids materializing the transpose.
-func MatMulTransB(a, b *Tensor) *Tensor {
+// MatMulTransBInto computes A (m x k) times Bᵀ (B is n x k) into dst
+// (m x n): a fused kernel for forward/backward passes that avoids
+// materializing the transpose.
+func MatMulTransBInto(dst, a, b *Tensor) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMulTransB needs 2-D operands")
 	}
@@ -48,11 +67,11 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %v x %v^T", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	parallelRows(m, func(lo, hi int) {
+	checkDst(dst, m, n)
+	ParallelRows(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := a.Data[i*k : (i+1)*k]
-			or := out.Data[i*n : (i+1)*n]
+			or := dst.Data[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
 				br := b.Data[j*k : (j+1)*k]
 				var s float32
@@ -63,12 +82,18 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			}
 		}
 	})
+}
+
+// MatMulTransA returns Aᵀ times B where A is (k x m) and B is (k x n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	out := New(a.Shape[1], b.Shape[1])
+	MatMulTransAInto(out, a, b)
 	return out
 }
 
-// MatMulTransA returns Aᵀ times B where A is (k x m) and B is (k x n),
-// producing (m x n). Used for weight gradients.
-func MatMulTransA(a, b *Tensor) *Tensor {
+// MatMulTransAInto computes Aᵀ B (A is k x m, B is k x n) into dst
+// (m x n). Used for weight gradients.
+func MatMulTransAInto(dst, a, b *Tensor) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMulTransA needs 2-D operands")
 	}
@@ -77,10 +102,13 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA outer dimensions differ: %v^T x %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	parallelRows(m, func(lo, hi int) {
+	checkDst(dst, m, n)
+	ParallelRows(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			or := out.Data[i*n : (i+1)*n]
+			or := dst.Data[i*n : (i+1)*n]
+			for j := range or {
+				or[j] = 0
+			}
 			for p := 0; p < k; p++ {
 				av := a.Data[p*m+i]
 				if av == 0 {
@@ -93,36 +121,10 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
-// parallelRows splits [0, m) across workers and runs fn on each chunk.
-// Small row counts run inline to avoid goroutine overhead.
-func parallelRows(m int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
+func checkDst(dst *Tensor, m, n int) {
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: destination shape %v, want [%d %d]", dst.Shape, m, n))
 	}
-	if workers <= 1 || m < 16 {
-		fn(0, m)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
-
-// ParallelRows exposes the worker-splitting helper for other packages
-// (the approximate convolution uses it for its LUT-gather inner loop).
-func ParallelRows(m int, fn func(lo, hi int)) { parallelRows(m, fn) }

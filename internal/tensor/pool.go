@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the persistent worker pool shared by every
+// parallel kernel in the repository (MatMul, Im2Col, Col2Im, and the
+// approximate-GEMM kernels in internal/nn). Work is split into blocks
+// that idle workers claim from a shared atomic counter, so load
+// balances dynamically (work stealing over a block queue) and no
+// goroutines are spawned per call — the pool is started once and lives
+// for the process.
+
+// poolJob is one parallel invocation: fn applied to every block of
+// [0, n) of size chunk. Workers claim block indices from next until
+// exhausted; wg counts completed blocks.
+type poolJob struct {
+	fn    func(lo, hi int)
+	next  atomic.Int64
+	n     int
+	chunk int
+	nblk  int64
+	wg    sync.WaitGroup
+}
+
+// run claims and executes blocks until none remain. It is called by
+// pool workers and by the submitting goroutine itself, so the caller
+// always makes progress even when every worker is busy.
+func (j *poolJob) run() {
+	for {
+		b := j.next.Add(1) - 1
+		if b >= j.nblk {
+			return
+		}
+		lo := int(b) * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		j.wg.Done()
+	}
+}
+
+// workerPool is a fixed set of goroutines consuming jobs from a shared
+// channel. The zero worker count degrades to inline execution.
+type workerPool struct {
+	work    chan *poolJob
+	workers int
+}
+
+// newWorkerPool starts workers-1 goroutines (the submitting goroutine
+// is the remaining worker).
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers}
+	if workers > 1 {
+		// A deep buffer lets submitters hand off wake-ups without
+		// blocking even when all workers are mid-job.
+		p.work = make(chan *poolJob, 4*workers)
+		for i := 1; i < workers; i++ {
+			go func() {
+				for j := range p.work {
+					j.run()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// run executes fn over [0, n) in blocks of chunk, in parallel across
+// the pool. It returns once every block has completed. A job whose
+// block count is 1 (or a pool without workers) runs inline.
+func (p *workerPool) run(n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nblk := (n + chunk - 1) / chunk
+	if p.workers <= 1 || nblk == 1 {
+		fn(0, n)
+		return
+	}
+	j := &poolJob{fn: fn, n: n, chunk: chunk, nblk: int64(nblk)}
+	j.wg.Add(nblk)
+	// Wake at most nblk-1 workers (the caller handles the rest). The
+	// sends are non-blocking: if the queue is full every worker is
+	// already busy and will find this job too late or not at all — the
+	// caller then simply executes the blocks itself.
+	wake := nblk - 1
+	if wake > p.workers-1 {
+		wake = p.workers - 1
+	}
+wakeLoop:
+	for i := 0; i < wake; i++ {
+		select {
+		case p.work <- j:
+		default:
+			break wakeLoop // queue full: every worker is already busy
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}
+
+var (
+	defaultPool     *workerPool
+	defaultPoolOnce sync.Once
+)
+
+func pool() *workerPool {
+	defaultPoolOnce.Do(func() {
+		defaultPool = newWorkerPool(runtime.GOMAXPROCS(0))
+	})
+	return defaultPool
+}
+
+// ParallelRows splits [0, m) across the persistent worker pool and runs
+// fn on each chunk. Small row counts run inline to avoid handoff
+// overhead. It is the scheduling primitive under every GEMM-shaped
+// kernel in the repository.
+func ParallelRows(m int, fn func(lo, hi int)) {
+	if m <= 0 {
+		return
+	}
+	p := pool()
+	if p.workers <= 1 || m < 16 {
+		fn(0, m)
+		return
+	}
+	// Four blocks per worker keeps the block queue long enough for
+	// dynamic balancing without making handoff dominate.
+	chunk := (m + 4*p.workers - 1) / (4 * p.workers)
+	p.run(m, chunk, fn)
+}
+
+// ParallelBlocks runs fn over [0, n) in blocks of exactly chunk (the
+// last block may be short), scheduled on the persistent pool. Kernels
+// that tile for cache locality use it to make the parallel grain equal
+// to the cache tile.
+func ParallelBlocks(n, chunk int, fn func(lo, hi int)) {
+	pool().run(n, chunk, fn)
+}

@@ -52,6 +52,22 @@ func checkShape(shape []int) int {
 	return n
 }
 
+// Ensure returns a tensor of the given shape, reusing t's backing
+// storage when its capacity suffices (the contents are then
+// unspecified, not zeroed). A nil t allocates fresh. It is the
+// building block of the layers' scratch-buffer arenas: buffers are
+// allocated once on the first step and reused for the rest of
+// training.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if t == nil || cap(t.Data) < n {
+		return New(shape...)
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	t.Data = t.Data[:n]
+	return t
+}
+
 // Numel returns the total element count.
 func (t *Tensor) Numel() int { return len(t.Data) }
 

@@ -1,0 +1,98 @@
+// Command benchdiff compares two BENCH_kernels.json recordings (see
+// cmd/benchkernels) and exits nonzero when any benchmark regressed
+// beyond the tolerance — the loud-failure half of the benchmark
+// harness. `make bench` runs it blocking against the committed
+// baseline; `make verify` runs it as a non-blocking report.
+//
+// Usage:
+//
+//	benchdiff [-tol 1.3] old.json new.json
+//
+// A benchmark present in only one file is reported but never fails the
+// diff, so the harness survives adding or retiring benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+type record struct {
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func load(path string) (record, error) {
+	var r record
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 1.3, "fail when new ns/op exceeds old by more than this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 1.3] old.json new.json")
+		os.Exit(2)
+	}
+	oldRec, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRec, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldRec.Benchmarks))
+	for name := range oldRec.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	for _, name := range names {
+		o := oldRec.Benchmarks[name]
+		n, ok := newRec.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-28s retired (only in %s)\n", name, flag.Arg(0))
+			continue
+		}
+		ratio := n.NsOp / o.NsOp
+		status := "ok"
+		if ratio > *tol {
+			status = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-28s %12.0f -> %12.0f ns/op  %5.2fx  %s\n", name, o.NsOp, n.NsOp, ratio, status)
+		if n.AllocsOp > o.AllocsOp {
+			fmt.Printf("%-28s allocs/op grew %d -> %d\n", name, o.AllocsOp, n.AllocsOp)
+		}
+	}
+	for name := range newRec.Benchmarks {
+		if _, ok := oldRec.Benchmarks[name]; !ok {
+			fmt.Printf("%-28s new (no baseline)\n", name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.2fx\n", regressed, *tol)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
