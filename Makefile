@@ -16,9 +16,10 @@ vet:
 
 # The concurrency-critical packages get a -race pass: the worker pool
 # and the kernels scheduled on it, the guarded train loop, the retrying
-# data pipeline, and the fault injector.
+# data pipeline, the fault injector, and the serving subsystem's
+# batcher/replica machinery.
 race:
-	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/
+	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/
 
 # bench re-measures the kernel baseline, fails loudly if anything
 # regressed beyond benchdiff's tolerance, and promotes the new numbers.

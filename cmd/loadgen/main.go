@@ -1,0 +1,173 @@
+// Command loadgen drives a running serve instance with concurrent
+// single-image predictions and reports client-side latency percentiles,
+// throughput, the mean achieved batch size, and the server's own /statz
+// snapshot. It discovers the model's input size from /v1/models, so the
+// only required knowledge is the server address:
+//
+//	loadgen -url http://localhost:8090 -c 16 -n 2000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type predictRequest struct {
+	Model     string    `json:"model"`
+	Image     []float32 `json:"image"`
+	TimeoutMS int       `json:"timeout_ms"`
+}
+
+type predictResponse struct {
+	Label     int     `json:"label"`
+	BatchSize int     `json:"batch_size"`
+	TotalMS   float64 `json:"total_ms"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		base    = flag.String("url", "http://localhost:8090", "serve base URL")
+		model   = flag.String("model", "", "model name (default: the single served model)")
+		n       = flag.Int("n", 1000, "total requests")
+		conc    = flag.Int("c", 16, "concurrent workers")
+		timeout = flag.Int("timeout-ms", 0, "per-request server-side deadline (0: none)")
+		seed    = flag.Int64("seed", 1, "image generator seed")
+	)
+	flag.Parse()
+
+	imageLen, name := discover(*base, *model)
+	log.Printf("target %s model %q (image_len=%d), %d requests over %d workers",
+		*base, name, imageLen, *n, *conc)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		batchSum  int64
+		codes     = map[int]int{}
+	)
+	var issued atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			img := make([]float32, imageLen)
+			for issued.Add(1) <= int64(*n) {
+				for i := range img {
+					img[i] = float32(rng.NormFloat64())
+				}
+				body, _ := json.Marshal(predictRequest{Model: name, Image: img, TimeoutMS: *timeout})
+				t0 := time.Now()
+				resp, err := http.Post(*base+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					codes[-1]++
+					mu.Unlock()
+					continue
+				}
+				var pr predictResponse
+				dec := json.NewDecoder(resp.Body)
+				ok := resp.StatusCode == http.StatusOK && dec.Decode(&pr) == nil
+				resp.Body.Close()
+				mu.Lock()
+				codes[resp.StatusCode]++
+				if ok {
+					latencies = append(latencies, float64(time.Since(t0))/float64(time.Millisecond))
+					batchSum += int64(pr.BatchSize)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	okN := len(latencies)
+	fmt.Printf("requests        %d ok / %d total in %.2fs\n", okN, *n, elapsed.Seconds())
+	for code, c := range codes {
+		if code != http.StatusOK {
+			fmt.Printf("  status %d     %d\n", code, c)
+		}
+	}
+	if okN == 0 {
+		log.Fatal("no successful requests")
+	}
+	fmt.Printf("throughput      %.1f req/s\n", float64(okN)/elapsed.Seconds())
+	fmt.Printf("mean batch      %.2f (client-observed)\n", float64(batchSum)/float64(okN))
+	fmt.Printf("latency ms      p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		pct(latencies, 0.50), pct(latencies, 0.95), pct(latencies, 0.99), latencies[okN-1])
+
+	if stz := statz(*base); stz != nil {
+		out, _ := json.MarshalIndent(stz, "", "  ")
+		fmt.Printf("server /statz   %s\n", out)
+	}
+}
+
+// discover reads /v1/models to find the target model's input size.
+func discover(base, model string) (imageLen int, name string) {
+	resp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		log.Fatalf("discovering models: %v", err)
+	}
+	defer resp.Body.Close()
+	var ml struct {
+		Models []struct {
+			Name     string `json:"name"`
+			ImageLen int    `json:"image_len"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ml); err != nil || len(ml.Models) == 0 {
+		log.Fatalf("bad /v1/models response (err=%v)", err)
+	}
+	for _, m := range ml.Models {
+		if model == "" || m.Name == model {
+			return m.ImageLen, m.Name
+		}
+	}
+	log.Fatalf("model %q not served", model)
+	return 0, ""
+}
+
+// statz fetches the server's own metrics snapshot, nil on any error.
+func statz(base string) any {
+	resp, err := http.Get(base + "/statz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var v any
+	if json.NewDecoder(resp.Body).Decode(&v) != nil {
+		return nil
+	}
+	return v
+}
+
+// pct is the nearest-rank percentile of a sorted sample.
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,21 @@
+package models
+
+import "github.com/appmult/retrain/internal/nn"
+
+// Replicas builds n independent inference copies of model, all driven
+// by the same (read-only) op. Each replica owns its parameters, batch
+// norm running statistics, observers, and kernel scratch arenas, so
+// replicas can run Forward/Predict concurrently — one goroutine per
+// replica — while sharing op's LUTs. This is the replication step of
+// the serving subsystem (internal/serve): layer instances are
+// stateful, so concurrency comes from copies, not shared graphs.
+//
+// The source model is never aliased; mutating a replica (or continuing
+// to train the source) does not affect the others.
+func Replicas(model *nn.Sequential, op *nn.Op, n int) []*nn.Sequential {
+	out := make([]*nn.Sequential, n)
+	for i := range out {
+		out[i] = Approximate(model, op)
+	}
+	return out
+}

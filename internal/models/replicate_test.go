@@ -1,0 +1,78 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+func TestReplicasIndependentAndEqual(t *testing.T) {
+	op := nn.STEOp(appmult.NewAccurate(7))
+	src := VGG(11, Config{Classes: 5, InputHW: 8, Width: 0.1, Conv: ApproxConv(op), Seed: 3})
+	// Give the source non-initial observer/BN state.
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 3, 8, 8)
+	x.RandNormal(rng, 1)
+	src.Forward(x, true)
+
+	reps := Replicas(src, op, 3)
+	if len(reps) != 3 {
+		t.Fatalf("got %d replicas, want 3", len(reps))
+	}
+
+	// Same parameters and state, independent storage.
+	srcParams := src.Params()
+	for ri, r := range reps {
+		rp := r.Params()
+		if len(rp) != len(srcParams) {
+			t.Fatalf("replica %d has %d params, source %d", ri, len(rp), len(srcParams))
+		}
+		for i := range rp {
+			if &rp[i].Value.Data[0] == &srcParams[i].Value.Data[0] {
+				t.Fatalf("replica %d aliases source parameter %q", ri, rp[i].Name)
+			}
+			for j := range rp[i].Value.Data {
+				if rp[i].Value.Data[j] != srcParams[i].Value.Data[j] {
+					t.Fatalf("replica %d parameter %q differs at %d", ri, rp[i].Name, j)
+				}
+			}
+		}
+	}
+
+	// Replicas must agree with the source bit-for-bit, concurrently.
+	xq := tensor.New(2, 3, 8, 8)
+	xq.RandNormal(rng, 1)
+	want := src.Forward(xq.Clone(), false).Clone()
+	var wg sync.WaitGroup
+	errs := make([]string, len(reps))
+	for ri, r := range reps {
+		wg.Add(1)
+		go func(ri int, r *nn.Sequential) {
+			defer wg.Done()
+			got := r.Predict(xq.Clone())
+			for i := range want.Data {
+				if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+					errs[ri] = "replica output diverges from source"
+					return
+				}
+			}
+		}(ri, r)
+	}
+	wg.Wait()
+	for ri, e := range errs {
+		if e != "" {
+			t.Errorf("replica %d: %s", ri, e)
+		}
+	}
+
+	// Mutating one replica must not leak into another.
+	reps[0].Params()[0].Value.Data[0] += 42
+	if reps[1].Params()[0].Value.Data[0] == reps[0].Params()[0].Value.Data[0] {
+		t.Error("replicas share parameter storage")
+	}
+}

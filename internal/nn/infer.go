@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/appmult/retrain/internal/quant"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// This file implements the inference-only forward path used by the
+// serving subsystem (internal/serve). Forward(x, false) already
+// computes evaluation-mode outputs, but it still pays for training:
+// every layer fills the caches its Backward needs (ReLU masks, pooling
+// argmax maps, batch-norm normalized activations, quantization clip
+// masks). Predict walks the same layers through Inferer.Infer, which
+// computes the identical output — bit for bit, the equivalence test in
+// infer_test.go enforces it — while skipping every backward-only
+// buffer.
+//
+// Predict shares the layers' scratch arenas with Forward, so the
+// single-graph discipline extends to it: do not interleave a Predict
+// between a Forward and its Backward on the same model instance, and
+// drive one model instance from one goroutine at a time. Concurrent
+// serving replicates the model instead (see models.Replicas).
+
+// Inferer is implemented by layers with a dedicated inference path
+// that skips backward-only work. Layers without it fall back to
+// Forward(x, false), which is always equivalent.
+type Inferer interface {
+	Infer(x *tensor.Tensor) *tensor.Tensor
+}
+
+// Infer runs one layer in inference mode, preferring its Inferer path.
+func Infer(l Layer, x *tensor.Tensor) *tensor.Tensor {
+	if inf, ok := l.(Inferer); ok {
+		return inf.Infer(x)
+	}
+	return l.Forward(x, false)
+}
+
+// Predict is the inference-only counterpart of Forward(x, false): the
+// same outputs without allocating or filling any backward scratch.
+// The returned tensor may be owned by the final layer and remains
+// valid only until the model's next Forward/Predict call.
+func (s *Sequential) Predict(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = Infer(l, x)
+	}
+	return x
+}
+
+// Infer implements Inferer.
+func (s *Sequential) Infer(x *tensor.Tensor) *tensor.Tensor { return s.Predict(x) }
+
+// Infer implements Inferer.
+func (r *Residual) Infer(x *tensor.Tensor) *tensor.Tensor {
+	m := Infer(r.Main, x)
+	s := Infer(r.Shortcut, x)
+	out := m.Clone()
+	out.Add(s)
+	return out
+}
+
+// Infer implements Inferer: the rectification without the sign mask.
+func (r *ReLU) Infer(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Infer implements Inferer: max pooling without the argmax map.
+func (p *MaxPool2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-p.K)/p.Stride + 1
+	ow := (w-p.K)/p.Stride + 1
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: maxpool output collapses for input %v", x.Shape))
+	}
+	out := tensor.New(n, c, oh, ow)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			in := x.Data[(img*c+ch)*h*w:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := in[(oy*p.Stride)*w+ox*p.Stride]
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							if v := in[(oy*p.Stride+ky)*w+ox*p.Stride+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					out.Data[((img*c+ch)*oh+oy)*ow+ox] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Infer implements Inferer: evaluation-mode normalization from the
+// running statistics, without the xhat/invStd backward caches. The
+// float64 intermediate sequence matches Forward(train=false) exactly,
+// so the outputs are bit-identical.
+func (b *BatchNorm2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != b.C {
+		panic(fmt.Sprintf("nn: %s expects NCHW with C=%d, got %v", b.name, b.C, x.Shape))
+	}
+	n, c, hw := x.Shape[0], x.Shape[1], x.Shape[2]*x.Shape[3]
+	out := tensor.New(x.Shape...)
+	for ch := 0; ch < c; ch++ {
+		mean := float64(b.RunningMean.Data[ch])
+		vr := float64(b.RunningVar.Data[ch])
+		inv := 1 / math.Sqrt(vr+b.Eps)
+		g := float64(b.Gamma.Value.Data[ch])
+		bt := float64(b.Beta.Value.Data[ch])
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				xh := (float64(x.Data[base+j]) - mean) * inv
+				out.Data[base+j] = float32(g*xh + bt)
+			}
+		}
+	}
+	return out
+}
+
+// Infer implements Inferer: the LUT forward without the clip masks the
+// straight-through backward needs. Quantized levels, GEMM, and
+// epilogue are shared with Forward, so outputs are bit-identical.
+func (c *ApproxConv2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects NCHW with C=%d, got %v", c.name, c.InC, x.Shape))
+	}
+	g := tensor.Geometry(c.InC, x.Shape[2], x.Shape[3], c.OutC, c.K, c.K, c.Stride, c.Pad)
+	batch := x.Shape[0]
+
+	if !c.Observer.Seen() {
+		c.Observer.Observe(x)
+	}
+	px := c.Observer.Params(c.op.Bits)
+	k := g.K()
+	c.wq = grow(c.wq, c.OutC*k)
+	if c.PerChannel {
+		c.pw = grow(c.pw, c.OutC)
+		for oc := 0; oc < c.OutC; oc++ {
+			ws := c.Weight.Value.Data[oc*k : (oc+1)*k]
+			mn, mx := minMax(ws)
+			p := quant.Calibrate(mn, mx, c.op.Bits)
+			c.pw[oc] = p
+			quantizeInto(c.wq[oc*k:(oc+1)*k], ws, p)
+		}
+	} else {
+		p := quant.CalibrateTensor(c.Weight.Value, c.op.Bits)
+		c.pw = grow(c.pw, 1)
+		c.pw[0] = p
+		quantizeInto(c.wq, c.Weight.Value.Data, p)
+	}
+
+	rows := batch * g.OutH * g.OutW
+	c.cols = tensor.Ensure(c.cols, rows, k)
+	tensor.Im2ColInto(c.cols, x, g)
+	c.xq = grow(c.xq, rows*k)
+	quantizeInto(c.xq, c.cols.Data, px)
+
+	c.flat = tensor.Ensure(c.flat, rows, c.OutC)
+	c.op.ForwardGEMM(&c.ks, c.flat.Data, c.xq, c.wq, rows, c.OutC, k, c.pw, px, c.Bias.Value.Data)
+	c.y = tensor.Ensure(c.y, batch, g.OutC, g.OutH, g.OutW)
+	rowsToNCHWInto(c.y, c.flat, batch, g)
+	return c.y
+}
+
+// Infer implements Inferer: see ApproxConv2D.Infer.
+func (l *ApproxLinear) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.name, l.In, x.Shape))
+	}
+	if !l.Observer.Seen() {
+		l.Observer.Observe(x)
+	}
+	px := l.Observer.Params(l.op.Bits)
+	p := quant.CalibrateTensor(l.Weight.Value, l.op.Bits)
+	l.pw = grow(l.pw, 1)
+	l.pw[0] = p
+	rows := x.Shape[0]
+	l.xq = grow(l.xq, len(x.Data))
+	quantizeInto(l.xq, x.Data, px)
+	l.wq = grow(l.wq, len(l.Weight.Value.Data))
+	quantizeInto(l.wq, l.Weight.Value.Data, p)
+	l.out = tensor.Ensure(l.out, rows, l.Out)
+	l.op.ForwardGEMM(&l.ks, l.out.Data, l.xq, l.wq, rows, l.Out, l.In, l.pw, px, l.Bias.Value.Data)
+	return l.out
+}
+
+// quantizeInto is quantizeWithClipInto without the clip mask — the
+// inference path has no straight-through gradient to mask. Levels are
+// computed by the same quant.Params.Quantize, so they match the
+// training path exactly.
+func quantizeInto(q []uint8, data []float32, p quant.Params) {
+	tensor.ParallelBlocks(len(data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q[i] = uint8(p.Quantize(data[i]))
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// inferModel builds a model exercising every Inferer implementation:
+// approximate and float convolutions, batch norm, ReLU, max pooling, a
+// residual block, global average pooling, and both linear layers.
+func inferModel(op *Op, perChannel bool, rng *rand.Rand) *Sequential {
+	c1 := NewApproxConv2D("conv1", 3, 8, 3, 1, 1, op, rng)
+	c1.PerChannel = perChannel
+	res := NewResidual("res", NewSequential("res.main",
+		NewApproxConv2D("res.conv", 8, 8, 3, 1, 1, op, rng),
+		NewBatchNorm2D("res.bn", 8),
+	), nil)
+	return NewSequential("infer-model",
+		c1,
+		NewBatchNorm2D("bn1", 8),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		res,
+		NewReLU(),
+		NewConv2D("conv2", 8, 6, 3, 1, 1, rng),
+		NewGlobalAvgPool(),
+		NewFlatten(),
+		NewApproxLinear("fc1", 6, 12, op, rng),
+		NewReLU(),
+		NewLinear("fc2", 12, 5, rng),
+	)
+}
+
+// trainSteps runs a few forward/backward passes so batch-norm running
+// statistics and observers hold realistic, non-initial state.
+func trainSteps(m *Sequential, rng *rand.Rand, steps int) {
+	for s := 0; s < steps; s++ {
+		x := tensor.New(4, 3, 8, 8)
+		x.RandNormal(rng, 1)
+		labels := make([]int, 4)
+		for i := range labels {
+			labels[i] = rng.Intn(5)
+		}
+		ZeroGrads(m)
+		out := m.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(out, labels)
+		m.Backward(grad)
+	}
+}
+
+// TestPredictMatchesForward is the inference-path contract: Predict
+// must produce bit-identical outputs to Forward(x, false) on the same
+// weights and input.
+func TestPredictMatchesForward(t *testing.T) {
+	op := STEOp(appmult.NewAccurate(7))
+	for _, tc := range []struct {
+		name       string
+		perChannel bool
+	}{
+		{"per-tensor", false},
+		{"per-channel", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			m := inferModel(op, tc.perChannel, rng)
+			trainSteps(m, rng, 3)
+
+			for trial := 0; trial < 3; trial++ {
+				x := tensor.New(5, 3, 8, 8)
+				x.RandNormal(rng, 1)
+				// Forward and Predict share the layers' scratch arenas, so
+				// the reference output must be copied out first.
+				want := m.Forward(x.Clone(), false).Clone()
+				got := m.Predict(x)
+				if len(got.Data) != len(want.Data) {
+					t.Fatalf("trial %d: output sizes differ: %v vs %v", trial, got.Shape, want.Shape)
+				}
+				for i := range want.Data {
+					if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+						t.Fatalf("trial %d: Predict diverges from Forward at %d: %v vs %v (bits %#x vs %#x)",
+							trial, i, got.Data[i], want.Data[i],
+							math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictFreshModel covers the unseen-observer path: a model that
+// has never trained must still agree with Forward(x, false), which
+// calibrates from the first batch in both paths.
+func TestPredictFreshModel(t *testing.T) {
+	op := STEOp(appmult.NewAccurate(6))
+	rng := rand.New(rand.NewSource(3))
+	mF := inferModel(op, false, rand.New(rand.NewSource(7)))
+	mP := inferModel(op, false, rand.New(rand.NewSource(7)))
+	x := tensor.New(2, 3, 8, 8)
+	x.RandNormal(rng, 1)
+	// Separate identically initialized models: the first call observes
+	// activation ranges, so running Forward then Predict on one model
+	// would let the first call calibrate for the second.
+	want := mF.Forward(x.Clone(), false)
+	got := mP.Predict(x.Clone())
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("fresh-model Predict diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestPredictSkipsBackwardScratch asserts the point of the path: in
+// steady state Predict allocates strictly less than Forward, because
+// the clip masks, ReLU masks, argmax maps, and xhat caches are never
+// built.
+func TestPredictSkipsBackwardScratch(t *testing.T) {
+	op := STEOp(appmult.NewAccurate(7))
+	rng := rand.New(rand.NewSource(5))
+	m := inferModel(op, false, rng)
+	x := tensor.New(4, 3, 8, 8)
+	x.RandNormal(rng, 1)
+	// Warm both paths so arenas are sized.
+	m.Forward(x, false)
+	m.Predict(x)
+	fwd := testing.AllocsPerRun(5, func() { m.Forward(x, false) })
+	prd := testing.AllocsPerRun(5, func() { m.Predict(x) })
+	if prd >= fwd {
+		t.Errorf("Predict allocates %v per run, Forward %v; inference path should allocate less", prd, fwd)
+	}
+}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubRunner echoes each image's first value as its score and records
+// the batch sizes it served. An optional gate blocks Run until released,
+// letting tests pin the replica "busy" deterministically.
+type stubRunner struct {
+	mu      sync.Mutex
+	batches []int
+	entered chan struct{} // when non-nil, receives once per Run entry
+	gate    chan struct{} // when non-nil, Run blocks until it can receive
+	fail    error
+	panics  bool
+}
+
+func (s *stubRunner) Run(images [][]float32) ([][]float32, error) {
+	if s.entered != nil {
+		select {
+		case s.entered <- struct{}{}:
+		default:
+		}
+	}
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, len(images))
+	s.mu.Unlock()
+	if s.panics {
+		panic("stub runner poisoned")
+	}
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	out := make([][]float32, len(images))
+	for i, img := range images {
+		out[i] = []float32{img[0]}
+	}
+	return out, nil
+}
+
+func (s *stubRunner) batchSizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.batches...)
+}
+
+func TestBatcherCoalescesAndRoutes(t *testing.T) {
+	r := &stubRunner{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 8, MaxDelay: 20 * time.Millisecond, QueueDepth: 32}, nil)
+	defer b.Drain(context.Background())
+
+	const n = 8
+	results := make([]Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.Do(context.Background(), []float32{float32(i)}, time.Time{})
+		}(i)
+	}
+	// Feed the gate until every request is answered: the first batch may
+	// catch only the earliest arrivals, the next sweeps the rest.
+	stopFeed := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case r.gate <- struct{}{}:
+			case <-stopFeed:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopFeed)
+
+	maxBatch := 0
+	for _, bs := range r.batchSizes() {
+		if bs > maxBatch {
+			maxBatch = bs
+		}
+	}
+	if maxBatch < 2 {
+		t.Errorf("no coalescing: batch sizes %v", r.batchSizes())
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d failed: %v", i, res.Err)
+		}
+		if len(res.Scores) != 1 || res.Scores[0] != float32(i) {
+			t.Errorf("request %d got scores %v, want [%d] (misrouted)", i, res.Scores, i)
+		}
+		if res.BatchSize < 1 {
+			t.Errorf("request %d reports batch size %d", i, res.BatchSize)
+		}
+	}
+	st := b.Metrics().Snapshot()
+	if st.Completed != n {
+		t.Errorf("completed = %d, want %d", st.Completed, n)
+	}
+	if st.MeanBatch <= 1 && maxBatch > 1 {
+		t.Errorf("mean batch %v inconsistent with observed sizes %v", st.MeanBatch, r.batchSizes())
+	}
+}
+
+// occupy blocks the gated runner with one request and waits until that
+// request has entered Run, so subsequent submissions interact with a
+// deterministically busy batcher. Returns a wait function for the
+// occupying request.
+func occupy(t *testing.T, b *Batcher, r *stubRunner) (done func() Result) {
+	t.Helper()
+	ch := make(chan Result, 1)
+	go func() { ch <- b.Do(context.Background(), []float32{-1}, time.Time{}) }()
+	select {
+	case <-r.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("occupying request never reached the runner")
+	}
+	return func() Result { return <-ch }
+}
+
+func TestBatcherOverloadRejects(t *testing.T) {
+	r := &stubRunner{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 2}, nil)
+
+	wait := occupy(t, b, r)
+	// Fill the queue to its depth, then one more must bounce.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Do(context.Background(), []float32{0}, time.Time{})
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.queue) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	res := b.Do(context.Background(), []float32{0}, time.Time{})
+	if !errors.Is(res.Err, ErrOverloaded) {
+		t.Fatalf("overflow request got %v, want ErrOverloaded", res.Err)
+	}
+	if st := b.Metrics().Snapshot(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+
+	close(r.gate) // release everything
+	wait()
+	wg.Wait()
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestBatcherDeadlineWhileQueued(t *testing.T) {
+	r := &stubRunner{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 8}, nil)
+
+	wait := occupy(t, b, r)
+	ch := make(chan Result, 1)
+	go func() {
+		ch <- b.Do(context.Background(), []float32{1}, time.Now().Add(10*time.Millisecond))
+	}()
+	time.Sleep(30 * time.Millisecond) // let the deadline lapse while queued
+	close(r.gate)
+	if res := <-ch; !errors.Is(res.Err, ErrDeadlineExceeded) {
+		t.Fatalf("stale request got %v, want ErrDeadlineExceeded", res.Err)
+	}
+	if res := wait(); res.Err != nil {
+		t.Fatalf("occupying request failed: %v", res.Err)
+	}
+	if st := b.Metrics().Snapshot(); st.Expired != 1 {
+		t.Errorf("expired = %d, want 1", st.Expired)
+	}
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestBatcherGracefulDrain is the shutdown contract: requests in flight
+// or already queued when Drain begins complete normally; requests
+// submitted after Drain begins are rejected with ErrDraining.
+func TestBatcherGracefulDrain(t *testing.T) {
+	r := &stubRunner{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 16}, nil)
+
+	wait := occupy(t, b, r)
+	const queued = 3
+	pending := make(chan Result, queued)
+	for i := 0; i < queued; i++ {
+		go func() { pending <- b.Do(context.Background(), []float32{2}, time.Time{}) }()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.queue) < queued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- b.Drain(context.Background()) }()
+	// Wait for Drain to flip admission (its first action), then new
+	// submissions must bounce immediately.
+	for {
+		b.mu.RLock()
+		d := b.draining
+		b.mu.RUnlock()
+		if d {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("Drain never flipped the draining flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res := b.Do(context.Background(), []float32{3}, time.Time{}); !errors.Is(res.Err, ErrDraining) {
+		t.Fatalf("post-drain submission got %v, want ErrDraining", res.Err)
+	}
+
+	close(r.gate) // let the in-flight batch and the queued jobs run
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if res := wait(); res.Err != nil {
+		t.Errorf("in-flight request failed during drain: %v", res.Err)
+	}
+	for i := 0; i < queued; i++ {
+		if res := <-pending; res.Err != nil {
+			t.Errorf("queued request failed during drain: %v", res.Err)
+		}
+	}
+	// Drain is idempotent.
+	if err := b.Drain(context.Background()); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+func TestBatcherDrainTimeoutFailsQueued(t *testing.T) {
+	r := &stubRunner{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 8}, nil)
+
+	wait := occupy(t, b, r)
+	queuedRes := make(chan Result, 1)
+	go func() { queuedRes <- b.Do(context.Background(), []float32{4}, time.Time{}) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.queue) < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := b.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain returned %v, want deadline exceeded", err)
+	}
+	// The queued job must have been answered, not abandoned.
+	if res := <-queuedRes; !errors.Is(res.Err, ErrDraining) {
+		t.Fatalf("queued request got %v, want ErrDraining", res.Err)
+	}
+	close(r.gate) // in-flight batch still completes on its own
+	if res := wait(); res.Err != nil {
+		t.Errorf("in-flight request failed: %v", res.Err)
+	}
+}
+
+func TestBatcherRunnerPanicIsContained(t *testing.T) {
+	r := &stubRunner{panics: true}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond}, nil)
+
+	res := b.Do(context.Background(), []float32{5}, time.Time{})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "panicked") {
+		t.Fatalf("got %v, want inference-panicked error", res.Err)
+	}
+	// The dispatcher survives and keeps serving.
+	r.panics = false
+	if res := b.Do(context.Background(), []float32{6}, time.Time{}); res.Err != nil {
+		t.Fatalf("batcher dead after panic: %v", res.Err)
+	}
+	if st := b.Metrics().Snapshot(); st.Failed != 1 || st.Completed != 1 {
+		t.Errorf("failed=%d completed=%d, want 1/1", st.Failed, st.Completed)
+	}
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestBatcherContextCancelledCaller(t *testing.T) {
+	r := &stubRunner{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 4}, nil)
+
+	wait := occupy(t, b, r)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan Result, 1)
+	go func() { ch <- b.Do(ctx, []float32{7}, time.Time{}) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.queue) < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if res := <-ch; !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("cancelled caller got %v, want context.Canceled", res.Err)
+	}
+	// The batch still runs (inference is not abortable) and the batcher
+	// drains cleanly afterwards.
+	close(r.gate)
+	wait()
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the sliding window of per-request latencies kept for
+// percentile estimation. 4096 samples bound both memory and the cost
+// of the sort in Snapshot while covering several seconds of traffic at
+// the throughputs a CPU backend reaches.
+const latWindow = 4096
+
+// Metrics aggregates one served model's counters: request outcomes,
+// achieved batch sizes, and a sliding latency window. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	completed uint64
+	rejected  uint64
+	expired   uint64
+	failed    uint64
+	batches   uint64
+	batched   uint64 // sum of achieved batch sizes
+	lat       [latWindow]float64
+	latN      int // filled entries (caps at latWindow)
+	latIdx    int // next write position
+}
+
+// NewMetrics starts a metrics window at the current time.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// Complete records one successfully served request and its end-to-end
+// latency (queue wait + inference).
+func (m *Metrics) Complete(latency time.Duration) {
+	ms := float64(latency) / float64(time.Millisecond)
+	m.mu.Lock()
+	m.completed++
+	m.lat[m.latIdx] = ms
+	m.latIdx = (m.latIdx + 1) % latWindow
+	if m.latN < latWindow {
+		m.latN++
+	}
+	m.mu.Unlock()
+}
+
+// Reject records one request refused at admission (queue full or
+// draining).
+func (m *Metrics) Reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// Expire records one request whose deadline passed while queued.
+func (m *Metrics) Expire() {
+	m.mu.Lock()
+	m.expired++
+	m.mu.Unlock()
+}
+
+// Fail records one request that reached a replica but errored.
+func (m *Metrics) Fail() {
+	m.mu.Lock()
+	m.failed++
+	m.mu.Unlock()
+}
+
+// Batch records one dispatched batch of the given size.
+func (m *Metrics) Batch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.batched += uint64(size)
+	m.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of a model's serving metrics, in
+// the shape /statz reports.
+type Stats struct {
+	Completed     uint64  `json:"completed"`
+	Rejected      uint64  `json:"rejected"`
+	Expired       uint64  `json:"expired"`
+	Failed        uint64  `json:"failed"`
+	Batches       uint64  `json:"batches"`
+	MeanBatch     float64 `json:"mean_batch"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// Snapshot computes the current stats. Percentiles cover the sliding
+// latency window; throughput covers the full lifetime of the metrics.
+func (m *Metrics) Snapshot() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Completed: m.completed,
+		Rejected:  m.rejected,
+		Expired:   m.expired,
+		Failed:    m.failed,
+		Batches:   m.batches,
+	}
+	if m.batches > 0 {
+		s.MeanBatch = float64(m.batched) / float64(m.batches)
+	}
+	if el := time.Since(m.start).Seconds(); el > 0 {
+		s.ThroughputRPS = float64(m.completed) / el
+	}
+	window := append([]float64(nil), m.lat[:m.latN]...)
+	m.mu.Unlock()
+
+	if len(window) > 0 {
+		sort.Float64s(window)
+		s.P50Ms = percentile(window, 0.50)
+		s.P95Ms = percentile(window, 0.95)
+		s.P99Ms = percentile(window, 0.99)
+	}
+	return s
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -133,6 +133,51 @@ func TestParallelRowsAndBlocksCoverRange(t *testing.T) {
 	checkCoverage(t, counts)
 }
 
+// TestSharedPoolConcurrentCallers drives the package-level
+// ParallelRows/ParallelBlocks — the shared singleton every layer
+// schedules on — from many goroutines at once. This is the serving
+// shape: independent model replicas running forward passes
+// concurrently all funnel into this one pool, so every caller must see
+// exactly its own range covered exactly once. Primarily a -race target.
+func TestSharedPoolConcurrentCallers(t *testing.T) {
+	const callers = 12
+	var wg sync.WaitGroup
+	errs := make([]string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := 64 + 37*c // distinct sizes so callers can't mask each other
+			for iter := 0; iter < 25; iter++ {
+				rows := make([]int32, n)
+				ParallelRows(n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&rows[i], 1)
+					}
+				})
+				blocks := make([]int32, n)
+				ParallelBlocks(n, 16, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&blocks[i], 1)
+					}
+				})
+				for i := 0; i < n; i++ {
+					if rows[i] != 1 || blocks[i] != 1 {
+						errs[c] = "range not covered exactly once"
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, e := range errs {
+		if e != "" {
+			t.Errorf("caller %d: %s", c, e)
+		}
+	}
+}
+
 // … and chunk granularity is asserted against an explicit multi-worker
 // pool, where the tiling contract holds.
 func TestWorkerPoolRespectsChunk(t *testing.T) {

@@ -1,0 +1,111 @@
+package train
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/optim"
+)
+
+// saveTestCheckpoint writes a valid TRCKPv1 file for a small model and
+// returns its bytes. No training run is needed: a zero-moment Adam
+// snapshot is a legal optimizer state.
+func saveTestCheckpoint(t *testing.T, seed int64) (path string, raw []byte) {
+	t.Helper()
+	m := robustModel(seed)
+	path = filepath.Join(t.TempDir(), "c.ckpt")
+	st := CheckpointState{Epoch: 1, Seed: seed, Adam: optim.NewAdam().Snapshot(m.Params())}
+	if err := SaveCheckpoint(path, m, st); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+// TestLoadCheckpointTruncationSweep cuts a valid TRCKPv1 file at every
+// prefix length through the header region and at evenly spaced points
+// beyond, requiring each cut to be rejected — and rejected cleanly: a
+// failed load must not leave the target model partially mutated.
+func TestLoadCheckpointTruncationSweep(t *testing.T) {
+	_, good := saveTestCheckpoint(t, 3)
+	dir := t.TempDir()
+	p := filepath.Join(dir, "cut.ckpt")
+
+	cuts := map[int]bool{}
+	for cut := 0; cut < len(good) && cut < 256; cut++ {
+		cuts[cut] = true
+	}
+	step := len(good)/512 + 1
+	for cut := 0; cut < len(good); cut += step {
+		cuts[cut] = true
+	}
+	cuts[len(good)-1] = true
+
+	fresh := robustModel(5)
+	pristine := robustModel(5)
+	for cut := range cuts {
+		if err := os.WriteFile(p, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p, fresh); err == nil {
+			t.Fatalf("checkpoint truncated to %d/%d bytes accepted", cut, len(good))
+		}
+	}
+	paramsEqual(t, pristine, fresh)
+}
+
+// TestLoadCheckpointWrongMagic flips each magic byte individually and
+// also feeds a valid params-only NNCKPv1 file to the train-level
+// loader: every wrong-magic variant must be refused.
+func TestLoadCheckpointWrongMagic(t *testing.T) {
+	_, good := saveTestCheckpoint(t, 3)
+	dir := t.TempDir()
+	p := filepath.Join(dir, "magic.ckpt")
+
+	for i := 0; i < 8; i++ {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x20
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p, robustModel(1)); err == nil {
+			t.Errorf("magic byte %d corrupted but checkpoint accepted", i)
+		}
+	}
+
+	// A params-only nn checkpoint is a different format (NNCKPv1); the
+	// train loader must reject it at the magic, not misparse it.
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, robustModel(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(p, robustModel(1)); err == nil {
+		t.Error("NNCKPv1 params file accepted as a TRCKPv1 train checkpoint")
+	}
+}
+
+// TestLoadCheckpointRoundTripBitExact complements the corruption tests:
+// the exact bytes written by SaveCheckpoint restore an identically
+// shaped model to parameter equality.
+func TestLoadCheckpointRoundTripBitExact(t *testing.T) {
+	path, _ := saveTestCheckpoint(t, 3)
+	src := robustModel(3)
+	dst := robustModel(9)
+	st, err := LoadCheckpoint(path, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 || st.Seed != 3 {
+		t.Errorf("state = epoch %d seed %d, want 1/3", st.Epoch, st.Seed)
+	}
+	paramsEqual(t, src, dst)
+}

@@ -49,12 +49,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 1.3] old.json new.json")
 		os.Exit(2)
 	}
-	oldRec, err := load(flag.Arg(0))
+	newRec, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newRec, err := load(flag.Arg(1))
+	oldRec, err := load(flag.Arg(0))
+	if os.IsNotExist(err) {
+		// First run: there is nothing to regress against. Exit zero so
+		// the harness's promotion step installs the new recording as the
+		// baseline for the next diff.
+		fmt.Printf("benchdiff: no baseline at %s, promoting %d benchmark(s) from %s\n",
+			flag.Arg(0), len(newRec.Benchmarks), flag.Arg(1))
+		return
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
