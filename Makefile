@@ -1,5 +1,5 @@
 # Tier-1: the gate every change must pass.
-.PHONY: build test tier1 vet race bench benchreport verify clean
+.PHONY: build test tier1 vet race bench benchreport doccheck verify clean
 
 BENCH_BASELINE := BENCH_kernels.json
 
@@ -19,7 +19,7 @@ vet:
 # data pipeline, the fault injector, and the serving subsystem's
 # batcher/replica machinery.
 race:
-	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/
+	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/ ./internal/obs/
 
 # bench re-measures the kernel baseline, fails loudly if anything
 # regressed beyond benchdiff's tolerance, and promotes the new numbers.
@@ -35,7 +35,12 @@ benchreport:
 	-go run ./scripts/benchdiff -tol 1.5 $(BENCH_BASELINE) $(BENCH_BASELINE).quick
 	-rm -f $(BENCH_BASELINE).quick
 
-verify: vet tier1 race benchreport
+# doccheck enforces doc comments on every exported identifier in the
+# public-facing internal packages (see scripts/doccheck).
+doccheck:
+	go run ./scripts/doccheck ./internal/serve ./internal/nn ./internal/obs
+
+verify: vet tier1 doccheck race benchreport
 
 clean:
 	go clean ./...

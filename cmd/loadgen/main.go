@@ -96,7 +96,6 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Float64s(latencies)
 	okN := len(latencies)
 	fmt.Printf("requests        %d ok / %d total in %.2fs\n", okN, *n, elapsed.Seconds())
 	for code, c := range codes {
@@ -109,8 +108,8 @@ func main() {
 	}
 	fmt.Printf("throughput      %.1f req/s\n", float64(okN)/elapsed.Seconds())
 	fmt.Printf("mean batch      %.2f (client-observed)\n", float64(batchSum)/float64(okN))
-	fmt.Printf("latency ms      p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
-		pct(latencies, 0.50), pct(latencies, 0.95), pct(latencies, 0.99), latencies[okN-1])
+	p := percentiles(latencies, 0.50, 0.95, 0.99, 1.0)
+	fmt.Printf("latency ms      p50=%.2f p95=%.2f p99=%.2f max=%.2f\n", p[0], p[1], p[2], p[3])
 
 	if stz := statz(*base); stz != nil {
 		out, _ := json.MarshalIndent(stz, "", "  ")
@@ -155,6 +154,24 @@ func statz(base string) any {
 		return nil
 	}
 	return v
+}
+
+// percentiles returns the nearest-rank percentile of sample for each
+// q in qs (q=1.0 is the maximum). It sorts a private copy, so callers
+// pass raw data and cannot hit the sorted-precondition bug class the
+// old pct helper invited; the caller's slice is never reordered.
+func percentiles(sample []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(sample) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = pct(sorted, q)
+	}
+	return out
 }
 
 // pct is the nearest-rank percentile of a sorted sample.

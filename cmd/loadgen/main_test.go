@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPercentiles is the regression test for the percentile path. The
+// reported bug — "off-by-one in the sort guard with worker count 1" —
+// did not reproduce: the sort has always run unconditionally before
+// pct. The real hazard was the sorted-input precondition itself, so
+// percentiles now sorts a private copy; this pins that contract for
+// unsorted input, the single-sample case (one worker, one request),
+// empty input, and q=1.0 as the maximum.
+func TestPercentiles(t *testing.T) {
+	unsorted := []float64{9, 1, 5, 3, 7, 2, 8, 4, 6, 10}
+	p := percentiles(unsorted, 0.50, 0.90, 1.0)
+	if p[0] != 5 {
+		t.Errorf("p50 of 1..10 = %v, want 5 (nearest rank)", p[0])
+	}
+	if p[1] != 9 {
+		t.Errorf("p90 of 1..10 = %v, want 9", p[1])
+	}
+	if p[2] != 10 {
+		t.Errorf("max = %v, want 10", p[2])
+	}
+
+	// The caller's slice must not be reordered by the call.
+	if unsorted[0] != 9 || unsorted[9] != 10 {
+		t.Errorf("input slice was mutated: %v", unsorted)
+	}
+
+	// One worker issuing one request yields a single sample; every
+	// quantile is that sample.
+	for _, q := range []float64{0.01, 0.50, 0.99, 1.0} {
+		if got := percentiles([]float64{42}, q)[0]; got != 42 {
+			t.Errorf("percentiles([42], %v) = %v, want 42", q, got)
+		}
+	}
+
+	// Empty input returns zeros rather than panicking.
+	p = percentiles(nil, 0.50, 0.99)
+	if p[0] != 0 || p[1] != 0 {
+		t.Errorf("percentiles(nil) = %v, want zeros", p)
+	}
+}
+
+// TestPctAgainstExhaustiveRank cross-checks the nearest-rank index
+// arithmetic over many sizes and quantiles against the definition.
+func TestPctAgainstExhaustiveRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 64; n++ {
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = float64(i + 1) // sorted 1..n
+		}
+		for trial := 0; trial < 8; trial++ {
+			q := rng.Float64()
+			if q == 0 {
+				continue
+			}
+			got := pct(sample, q)
+			// Definition: smallest value with rank >= ceil(q*n).
+			rank := int(q * float64(n))
+			if float64(rank) < q*float64(n) {
+				rank++
+			}
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			if got != float64(rank) {
+				t.Fatalf("pct(1..%d, %v) = %v, want rank %d", n, q, got, rank)
+			}
+		}
+	}
+}

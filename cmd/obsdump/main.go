@@ -1,0 +1,193 @@
+// Command obsdump scrapes one Prometheus text snapshot from a running
+// retrain or serve process and renders it as human-readable tables:
+// counters and gauges with their labels and values, histograms with
+// count, mean, and interpolated p50/p95/p99.
+//
+//	obsdump -url http://localhost:8090/metrics
+//	obsdump -url metrics.txt        # or a saved snapshot file ("-" = stdin)
+//
+// It understands exactly the text format internal/obs emits, so it
+// doubles as an end-to-end check that the exposition stays parseable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/appmult/retrain/internal/obs"
+	"github.com/appmult/retrain/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obsdump: ")
+	var (
+		url     = flag.String("url", "http://localhost:8090/metrics", "metrics endpoint, snapshot file, or - for stdin")
+		timeout = flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	)
+	flag.Parse()
+
+	data, err := fetch(*url, *timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, types, err := obs.ParseText(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := render(os.Stdout, samples, types); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// fetch reads the snapshot from an HTTP endpoint, a file, or stdin.
+func fetch(src string, timeout time.Duration) (string, error) {
+	if src == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		b, err := os.ReadFile(src)
+		return string(b), err
+	}
+	c := &http.Client{Timeout: timeout}
+	resp, err := c.Get(src)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", src, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// hist accumulates the _bucket/_sum/_count samples of one histogram
+// series (one label set) back into an obs.HistogramSnapshot.
+type hist struct {
+	name    string
+	labels  string
+	buckets map[float64]uint64 // le bound -> cumulative count (+Inf under math.Inf(1))
+	sum     float64
+	count   uint64
+}
+
+func (h *hist) snapshot() obs.HistogramSnapshot {
+	bounds := make([]float64, 0, len(h.buckets))
+	for le := range h.buckets {
+		if !math.IsInf(le, 1) {
+			bounds = append(bounds, le)
+		}
+	}
+	sort.Float64s(bounds)
+	s := obs.HistogramSnapshot{Bounds: bounds, Sum: h.sum, Count: h.count}
+	s.Cumulative = make([]uint64, len(bounds))
+	for i, le := range bounds {
+		s.Cumulative[i] = h.buckets[le]
+	}
+	return s
+}
+
+// labelString renders non-le labels sorted by key, "" when none.
+func labelString(s obs.Sample) string {
+	type kv struct{ k, v string }
+	var pairs []kv
+	for i := 0; i+1 < len(s.Labels); i += 2 {
+		if s.Labels[i] == "le" {
+			continue
+		}
+		pairs = append(pairs, kv{s.Labels[i], s.Labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = p.k + "=" + p.v
+	}
+	return strings.Join(parts, ",")
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// render splits the samples into scalar series and reassembled
+// histograms and prints one aligned table for each group.
+func render(w io.Writer, samples []obs.Sample, types map[string]obs.Kind) error {
+	var scalars []obs.Sample
+	hists := map[string]*hist{}
+	order := []string{}
+	for _, s := range samples {
+		base, suffix := s.Name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(s.Name, sfx) && types[strings.TrimSuffix(s.Name, sfx)] == obs.KindHistogram {
+				base, suffix = strings.TrimSuffix(s.Name, sfx), sfx
+				break
+			}
+		}
+		if suffix == "" {
+			scalars = append(scalars, s)
+			continue
+		}
+		key := base + "{" + labelString(s) + "}"
+		h := hists[key]
+		if h == nil {
+			h = &hist{name: base, labels: labelString(s), buckets: map[float64]uint64{}}
+			hists[key] = h
+			order = append(order, key)
+		}
+		switch suffix {
+		case "_sum":
+			h.sum = s.Value
+		case "_count":
+			h.count = uint64(s.Value)
+		case "_bucket":
+			le, err := strconv.ParseFloat(s.Label("le"), 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", base, s.Label("le"))
+			}
+			h.buckets[le] = uint64(s.Value)
+		}
+	}
+
+	sort.Slice(scalars, func(i, j int) bool {
+		if scalars[i].Name != scalars[j].Name {
+			return scalars[i].Name < scalars[j].Name
+		}
+		return labelString(scalars[i]) < labelString(scalars[j])
+	})
+	st := report.NewTable(fmt.Sprintf("counters and gauges (%d series)", len(scalars)),
+		"metric", "type", "labels", "value")
+	for _, s := range scalars {
+		st.AddRow(s.Name, string(types[s.Name]), labelString(s), fnum(s.Value))
+	}
+	st.WriteText(w)
+
+	if len(order) == 0 {
+		return nil
+	}
+	sort.Strings(order)
+	fmt.Fprintln(w)
+	ht := report.NewTable(fmt.Sprintf("histograms (%d series)", len(order)),
+		"metric", "labels", "count", "mean", "p50", "p95", "p99", "sum")
+	for _, key := range order {
+		h := hists[key]
+		snap := h.snapshot()
+		mean := 0.0
+		if snap.Count > 0 {
+			mean = snap.Sum / float64(snap.Count)
+		}
+		ht.AddRow(h.name, h.labels, strconv.FormatUint(snap.Count, 10), fnum(mean),
+			fnum(snap.Quantile(0.50)), fnum(snap.Quantile(0.95)), fnum(snap.Quantile(0.99)),
+			fnum(snap.Sum))
+	}
+	ht.WriteText(w)
+	return nil
+}

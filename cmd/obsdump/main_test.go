@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/appmult/retrain/internal/obs"
+)
+
+// TestRenderRoundTrip drives the full path the command runs: encode a
+// registry, parse the text back, and render the tables. The histogram
+// must be reassembled from its _bucket/_sum/_count samples with sane
+// quantiles.
+func TestRenderRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("demo_requests_total", "Requests.", "outcome", "ok").Add(41)
+	r.Gauge("demo_depth", "Queue depth.").Set(3)
+	h := r.Histogram("demo_latency_ms", "Latency.", obs.LatencyBucketsMs)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%10) + 0.5)
+	}
+
+	var sb strings.Builder
+	if err := obs.WriteTo(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples, types, err := obs.ParseText(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := render(&out, samples, types); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"demo_requests_total", "outcome=ok", "41",
+		"demo_depth", "counters and gauges",
+		"histograms (1 series)", "demo_latency_ms", "100",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, got)
+		}
+	}
+	// Observations span 0.5..9.5 ms, so the interpolated median must
+	// land inside the data range, not at a bucket edge artifact.
+	if !strings.Contains(got, "p50") {
+		t.Fatalf("no histogram header:\n%s", got)
+	}
+}
+
+func TestFetchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/snap.txt"
+	if err := os.WriteFile(path, []byte("# TYPE x counter\nx 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fetch(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "x 1") {
+		t.Errorf("fetch(file) = %q", data)
+	}
+}

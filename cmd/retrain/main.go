@@ -24,6 +24,7 @@ import (
 
 	"github.com/appmult/retrain/internal/appmult"
 	"github.com/appmult/retrain/internal/circuit"
+	"github.com/appmult/retrain/internal/obs"
 	"github.com/appmult/retrain/internal/report"
 	"github.com/appmult/retrain/internal/tech"
 	"github.com/appmult/retrain/internal/train"
@@ -42,22 +43,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("retrain: ")
 	var (
-		mult    = flag.String("mult", "mul7u_rm6", "approximate multiplier name (see amchar for the list)")
-		model   = flag.String("model", "vgg19", "model kind: lenet|vgg11|vgg16|vgg19|resnet18|resnet34|resnet50")
-		classes = flag.Int("classes", 10, "number of classes (10 = CIFAR-10 stand-in)")
-		scale   = flag.String("scale", "reduced", "experiment scale: paper|reduced|small|tiny")
-		all     = flag.Bool("all", false, "run the Table II sweep (see -mults/-models for subsets)")
-		mults   = flag.String("mults", "", "comma-separated multiplier subset for -all (default: all 7/8-bit AppMults)")
-		modelsF = flag.String("models", "vgg19,resnet18", "comma-separated model kinds for -all")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		verbose = flag.Bool("v", false, "log per-epoch progress")
-		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		ckpt    = flag.String("ckpt", "", "directory for per-phase training checkpoints (enables checkpointing)")
-		resume  = flag.Bool("resume", false, "resume killed phases from their checkpoints under -ckpt")
-		every   = flag.Int("ckpt-every", 1, "epochs between checkpoints")
-		spike   = flag.Float64("spike", 0, "loss-spike rollback factor (>1 enables; e.g. 10)")
+		mult     = flag.String("mult", "mul7u_rm6", "approximate multiplier name (see amchar for the list)")
+		model    = flag.String("model", "vgg19", "model kind: lenet|vgg11|vgg16|vgg19|resnet18|resnet34|resnet50")
+		classes  = flag.Int("classes", 10, "number of classes (10 = CIFAR-10 stand-in)")
+		scale    = flag.String("scale", "reduced", "experiment scale: paper|reduced|small|tiny")
+		all      = flag.Bool("all", false, "run the Table II sweep (see -mults/-models for subsets)")
+		mults    = flag.String("mults", "", "comma-separated multiplier subset for -all (default: all 7/8-bit AppMults)")
+		modelsF  = flag.String("models", "vgg19,resnet18", "comma-separated model kinds for -all")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		verbose  = flag.Bool("v", false, "log per-epoch progress")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		ckpt     = flag.String("ckpt", "", "directory for per-phase training checkpoints (enables checkpointing)")
+		resume   = flag.Bool("resume", false, "resume killed phases from their checkpoints under -ckpt")
+		every    = flag.Int("ckpt-every", 1, "epochs between checkpoints")
+		spike    = flag.Float64("spike", 0, "loss-spike rollback factor (>1 enables; e.g. 10)")
+		metricsA = flag.String("metrics-addr", "", "optional debug listener for /metrics and /debug/pprof (e.g. :8091) exposing live training telemetry")
 	)
 	flag.Parse()
+
+	if *metricsA != "" {
+		go func() { log.Fatal(obs.ListenAndServe(*metricsA, obs.Default())) }()
+		log.Printf("observability endpoint on %s (/metrics, /debug/pprof)", *metricsA)
+	}
 
 	sc, err := train.ScaleByName(*scale)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/appmult/retrain/internal/obs"
 	"github.com/appmult/retrain/internal/serve"
 )
 
@@ -43,8 +44,14 @@ func main() {
 		depth    = flag.Int("queue-depth", 0, "admission queue bound (0: 4*max-batch)")
 		seed     = flag.Int64("seed", 1, "init seed when no checkpoint is given")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		metricsA = flag.String("metrics-addr", "", "optional debug listener for /metrics and /debug/pprof (e.g. :8091); the API mux always serves /metrics itself")
 	)
 	flag.Parse()
+
+	if *metricsA != "" {
+		go func() { log.Fatal(obs.ListenAndServe(*metricsA, obs.Default())) }()
+		log.Printf("observability endpoint on %s (/metrics, /debug/pprof)", *metricsA)
+	}
 
 	m, err := serve.Load(serve.Spec{
 		Name: *name, Kind: *model, Classes: *classes, InputHW: *hw, Width: *width,

@@ -65,6 +65,7 @@ type KernelScratch struct {
 // capacity is insufficient. Contents are unspecified.
 func grow[T any](s []T, n int) []T {
 	if cap(s) < n {
+		noteGrow(cap(s), n, elemSize[T]())
 		return make([]T, n)
 	}
 	return s[:n]
@@ -131,9 +132,11 @@ func (op *Op) ForwardGEMM(s *KernelScratch, dst []float32, xq, wq []uint8, rows,
 		if op.MulFn == nil {
 			panic("nn: Op has neither a LUT nor a behavioral MulFn")
 		}
+		kernelForwardBehavioral.Inc()
 		op.forwardBehavioral(s, dst, xq, wq, rows, outC, k, px, bias)
 		return
 	}
+	kernelForwardLUT.Inc()
 
 	// int32 accumulation is safe when the worst-case row sum fits;
 	// lutMax*k also bounds the true sum for every smaller operand.
@@ -331,9 +334,11 @@ func (op *Op) BackwardGEMM(s *KernelScratch, dw, dxcols, gsum, dy []float32, xq,
 	}
 	op.ensurePadded()
 	if outC*k < backwardBlockMin {
+		kernelBackwardSmall.Inc()
 		op.backwardSmall(dw, dxcols, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
 		return
 	}
+	kernelBackwardBlocked.Inc()
 
 	s.swc = grow(s.swc, outC)
 	s.zwc = grow(s.zwc, outC)

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/appmult/retrain/internal/obs"
+)
+
+// Kernel telemetry (see DESIGN.md "Observability"): which dispatch
+// path each approximate-GEMM call takes, and how many bytes the
+// KernelScratch arenas (plus the pooled forward tiles) currently hold.
+// One atomic update per GEMM call keeps the overhead invisible next to
+// the kernels' microsecond-to-millisecond runtimes.
+var (
+	kernelForwardLUT = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "forward", "path", "lut")
+	kernelForwardBehavioral = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "forward", "path", "behavioral")
+	kernelBackwardBlocked = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "backward", "path", "blocked")
+	kernelBackwardSmall = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "backward", "path", "small")
+)
+
+// scratchBytes tracks the bytes currently held by every buffer sized
+// through grow — the KernelScratch arenas and the pooled forward
+// tiles. grow adds the delta when it reallocates, so the gauge follows
+// the high-water footprint the kernels actually retain.
+var scratchBytes atomic.Int64
+
+func init() {
+	obs.Default().GaugeFunc("nn_kernel_scratch_bytes",
+		"Bytes currently held by kernel scratch arenas (KernelScratch and pooled forward tiles).",
+		func() float64 { return float64(scratchBytes.Load()) })
+}
+
+// noteGrow records a reallocation of a grow-managed buffer from
+// oldCap to newLen elements of elemSize bytes.
+func noteGrow(oldCap, newLen int, elemSize uintptr) {
+	scratchBytes.Add(int64(elemSize) * int64(newLen-oldCap))
+}
+
+// elemSize reports sizeof(T) for grow's bookkeeping.
+func elemSize[T any]() uintptr {
+	var z T
+	return unsafe.Sizeof(z)
+}

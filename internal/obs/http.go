@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteTo(w, r.Snapshot())
+	})
+}
+
+// DebugMux is the opt-in runtime observability endpoint: /metrics for
+// the registry plus the net/http/pprof profile suite under
+// /debug/pprof/. Binaries expose it behind a -metrics-addr flag on a
+// separate listener so profiling can never be reached through the
+// serving port.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe blocks serving DebugMux on addr. Callers run it in a
+// goroutine and treat an error as fatal misconfiguration (the address
+// is an operator-supplied flag).
+func ListenAndServe(addr string, r *Registry) error {
+	return (&http.Server{Addr: addr, Handler: DebugMux(r)}).ListenAndServe()
+}

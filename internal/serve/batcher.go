@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/appmult/retrain/internal/obs"
 )
 
 // This file implements the dynamic micro-batching queue at the heart
@@ -114,7 +116,7 @@ func NewBatcher(runners []Runner, cfg BatcherConfig, metrics *Metrics) *Batcher 
 	}
 	cfg = cfg.withDefaults()
 	if metrics == nil {
-		metrics = NewMetrics()
+		metrics = NewMetrics("default")
 	}
 	b := &Batcher{
 		cfg:     cfg,
@@ -124,6 +126,16 @@ func NewBatcher(runners []Runner, cfg BatcherConfig, metrics *Metrics) *Batcher 
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	// Callback gauges: a new batcher for the same model (reload, test
+	// re-run) replaces the previous closure, so the series always
+	// follows the live queue.
+	reg := obs.Default()
+	reg.GaugeFunc("serve_queue_depth", "Requests waiting in the admission queue.",
+		func() float64 { return float64(len(b.queue)) }, "model", metrics.model)
+	reg.GaugeFunc("serve_queue_capacity", "Admission queue bound (requests past it are rejected with 429).",
+		func() float64 { return float64(cap(b.queue)) }, "model", metrics.model)
+	reg.GaugeFunc("serve_replicas_idle", "Replicas currently parked waiting for a batch.",
+		func() float64 { return float64(len(b.runners)) }, "model", metrics.model)
 	for _, r := range runners {
 		b.runners <- r
 	}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/appmult/retrain/internal/obs"
 )
 
 // latWindow is the sliding window of per-request latencies kept for
@@ -16,6 +18,14 @@ const latWindow = 4096
 // Metrics aggregates one served model's counters: request outcomes,
 // achieved batch sizes, and a sliding latency window. All methods are
 // safe for concurrent use.
+//
+// Metrics is a facade over two sinks kept deliberately in lockstep:
+// the private sliding-window state that /statz has always reported
+// (exact percentiles over recent traffic, lifetime throughput), and
+// the process-wide obs registry, where the same events land as
+// counters and fixed-bucket histograms labeled by model — the
+// canonical /metrics export. The registry is get-or-create, so two
+// Metrics for the same model name share series.
 type Metrics struct {
 	mu        sync.Mutex
 	start     time.Time
@@ -28,12 +38,45 @@ type Metrics struct {
 	lat       [latWindow]float64
 	latN      int // filled entries (caps at latWindow)
 	latIdx    int // next write position
+
+	model      string
+	completedC *obs.Counter
+	rejectedC  *obs.Counter
+	expiredC   *obs.Counter
+	failedC    *obs.Counter
+	batchesC   *obs.Counter
+	latencyH   *obs.Histogram
+	batchH     *obs.Histogram
 }
 
-// NewMetrics starts a metrics window at the current time.
-func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now()}
+// NewMetrics starts a metrics window at the current time for the named
+// model, registering the model's serving series with the default obs
+// registry.
+func NewMetrics(model string) *Metrics {
+	if model == "" {
+		model = "default"
+	}
+	reg := obs.Default()
+	const outcomeHelp = "Requests by final outcome: completed, rejected (queue full), expired (deadline passed while queued), failed (replica error or panic)."
+	return &Metrics{
+		start:      time.Now(),
+		model:      model,
+		completedC: reg.Counter("serve_requests_total", outcomeHelp, "model", model, "outcome", "completed"),
+		rejectedC:  reg.Counter("serve_requests_total", outcomeHelp, "model", model, "outcome", "rejected"),
+		expiredC:   reg.Counter("serve_requests_total", outcomeHelp, "model", model, "outcome", "expired"),
+		failedC:    reg.Counter("serve_requests_total", outcomeHelp, "model", model, "outcome", "failed"),
+		batchesC: reg.Counter("serve_batches_total",
+			"Coalesced batches dispatched to replicas.", "model", model),
+		latencyH: reg.Histogram("serve_request_latency_ms",
+			"End-to-end latency of completed requests (queue wait plus inference).",
+			obs.LatencyBucketsMs, "model", model),
+		batchH: reg.Histogram("serve_batch_size",
+			"Achieved size of dispatched batches.", obs.SizeBuckets, "model", model),
+	}
 }
+
+// Model returns the model name the metrics are labeled with.
+func (m *Metrics) Model() string { return m.model }
 
 // Complete records one successfully served request and its end-to-end
 // latency (queue wait + inference).
@@ -47,6 +90,8 @@ func (m *Metrics) Complete(latency time.Duration) {
 		m.latN++
 	}
 	m.mu.Unlock()
+	m.completedC.Inc()
+	m.latencyH.Observe(ms)
 }
 
 // Reject records one request refused at admission (queue full or
@@ -55,6 +100,7 @@ func (m *Metrics) Reject() {
 	m.mu.Lock()
 	m.rejected++
 	m.mu.Unlock()
+	m.rejectedC.Inc()
 }
 
 // Expire records one request whose deadline passed while queued.
@@ -62,6 +108,7 @@ func (m *Metrics) Expire() {
 	m.mu.Lock()
 	m.expired++
 	m.mu.Unlock()
+	m.expiredC.Inc()
 }
 
 // Fail records one request that reached a replica but errored.
@@ -69,6 +116,7 @@ func (m *Metrics) Fail() {
 	m.mu.Lock()
 	m.failed++
 	m.mu.Unlock()
+	m.failedC.Inc()
 }
 
 // Batch records one dispatched batch of the given size.
@@ -77,6 +125,8 @@ func (m *Metrics) Batch(size int) {
 	m.batches++
 	m.batched += uint64(size)
 	m.mu.Unlock()
+	m.batchesC.Inc()
+	m.batchH.Observe(float64(size))
 }
 
 // Stats is a point-in-time snapshot of a model's serving metrics, in

@@ -135,7 +135,7 @@ func Load(spec Spec) (*Model, error) {
 		runners[i] = rep
 	}
 
-	metrics := NewMetrics()
+	metrics := NewMetrics(spec.Name)
 	b := NewBatcher(runners, BatcherConfig{
 		MaxBatch:   spec.MaxBatch,
 		MaxDelay:   spec.MaxDelay,

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"github.com/appmult/retrain/internal/obs"
 )
 
 // Server fronts a set of loaded models with the HTTP JSON API:
@@ -15,7 +17,8 @@ import (
 //	POST /v1/predict  {"model": "...", "image": [...], "timeout_ms": 0}
 //	GET  /v1/models   list served models and their specs
 //	GET  /healthz     "ok", or 503 "draining" during shutdown
-//	GET  /statz       per-model serving metrics
+//	GET  /statz       per-model serving metrics (JSON, exact percentiles)
+//	GET  /metrics     process-wide obs registry in Prometheus text format
 //
 // Admission control and micro-batching live in each model's Batcher;
 // the server maps their outcomes onto status codes: 429 when the
@@ -46,13 +49,17 @@ func NewServer(ms ...*Model) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the API routes.
+// Handler returns the API routes. /metrics is the canonical export —
+// the whole process's obs registry (serving, kernel, worker-pool, and
+// training series) in Prometheus text format; /statz stays the
+// JSON-shaped per-model view with exact sliding-window percentiles.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.Handle("/metrics", obs.Handler(obs.Default()))
 	return mux
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the persistent worker pool shared by every
@@ -83,9 +84,13 @@ func (p *workerPool) run(n, chunk int, fn func(lo, hi int)) {
 	}
 	nblk := (n + chunk - 1) / chunk
 	if p.workers <= 1 || nblk == 1 {
+		poolJobsInline.Inc()
 		fn(0, n)
 		return
 	}
+	poolJobsPooled.Inc()
+	poolBlocksTotal.Add(float64(nblk))
+	start := time.Now()
 	j := &poolJob{fn: fn, n: n, chunk: chunk, nblk: int64(nblk)}
 	j.wg.Add(nblk)
 	// Wake at most nblk-1 workers (the caller handles the rest). The
@@ -106,6 +111,7 @@ wakeLoop:
 	}
 	j.run()
 	j.wg.Wait()
+	poolJobMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 }
 
 var (
@@ -116,6 +122,7 @@ var (
 func pool() *workerPool {
 	defaultPoolOnce.Do(func() {
 		defaultPool = newWorkerPool(runtime.GOMAXPROCS(0))
+		registerPoolGauges(defaultPool.workers)
 	})
 	return defaultPool
 }
@@ -130,6 +137,7 @@ func ParallelRows(m int, fn func(lo, hi int)) {
 	}
 	p := pool()
 	if p.workers <= 1 || m < 16 {
+		poolJobsInline.Inc()
 		fn(0, m)
 		return
 	}

@@ -1,0 +1,57 @@
+package train
+
+import "github.com/appmult/retrain/internal/obs"
+
+// Training telemetry (see DESIGN.md "Observability"). The paper's
+// retraining claims (Tables II-III) become auditable only when the
+// per-epoch trajectory is exported machine-readably, so Run mirrors
+// train.Result into the process-wide registry: per-step loss and step
+// outcomes as they happen, per-epoch accuracy after each evaluation,
+// and wall time split by phase. Counters accumulate across runs in one
+// process (a Table II sweep trains many legs); gauges always describe
+// the most recent step/epoch.
+var (
+	stepsTotal = obs.Default().Counter("train_steps_total",
+		"Optimizer steps applied (accepted batches).")
+	stepsSkippedPanic = obs.Default().Counter("train_steps_skipped_total",
+		"Batches dropped by the guarded step instead of poisoning the weights, by reason.",
+		"reason", "panic")
+	stepsSkippedLoss = obs.Default().Counter("train_steps_skipped_total",
+		"Batches dropped by the guarded step instead of poisoning the weights, by reason.",
+		"reason", "nonfinite_loss")
+	stepsSkippedGrad = obs.Default().Counter("train_steps_skipped_total",
+		"Batches dropped by the guarded step instead of poisoning the weights, by reason.",
+		"reason", "nonfinite_grad")
+	rollbacksTotal = obs.Default().Counter("train_rollbacks_total",
+		"Loss-spike rollbacks to the epoch-start snapshot.")
+	epochsTotal = obs.Default().Counter("train_epochs_total",
+		"Completed training epochs.")
+
+	stepLoss = obs.Default().Gauge("train_step_loss",
+		"Loss of the most recent accepted batch.")
+	epochGauge = obs.Default().Gauge("train_epoch",
+		"Epoch most recently completed by the current run.")
+	epochLoss = obs.Default().Gauge("train_epoch_loss",
+		"Mean training loss over the last completed epoch's accepted batches.")
+	testTop1 = obs.Default().Gauge("train_test_top1",
+		"Top-1 test accuracy (percent) after the last completed epoch.")
+	testTop5 = obs.Default().Gauge("train_test_top5",
+		"Top-5 test accuracy (percent) after the last completed epoch.")
+	learningRate = obs.Default().Gauge("train_learning_rate",
+		"Learning rate of the epoch currently training.")
+
+	phaseTrainSeconds = obs.Default().Counter("train_phase_seconds_total",
+		"Wall time spent per phase: train (forward/backward/step), eval (test-set accuracy), checkpoint (serialization and atomic write).",
+		"phase", "train")
+	phaseEvalSeconds = obs.Default().Counter("train_phase_seconds_total",
+		"Wall time spent per phase: train (forward/backward/step), eval (test-set accuracy), checkpoint (serialization and atomic write).",
+		"phase", "eval")
+	phaseCkptSeconds = obs.Default().Counter("train_phase_seconds_total",
+		"Wall time spent per phase: train (forward/backward/step), eval (test-set accuracy), checkpoint (serialization and atomic write).",
+		"phase", "checkpoint")
+	ckptWriteMs = obs.Default().Histogram("train_checkpoint_write_ms",
+		"Latency of one atomic checkpoint write (serialize, temp-file write, rename).",
+		obs.LatencyBucketsMs)
+	ckptErrors = obs.Default().Counter("train_checkpoint_errors_total",
+		"Checkpoint writes that failed (training continues without them).")
+)

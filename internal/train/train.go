@@ -165,6 +165,7 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 	}
 	for epoch := startEpoch; epoch <= cfg.Epochs; epoch++ {
 		lr := sched.At(epoch)
+		learningRate.Set(lr)
 		var snap *epochSnapshot
 		if cfg.SpikeFactor > 1 {
 			snap = snapshot(model, params, opt)
@@ -184,6 +185,7 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 			})
 			if err != nil {
 				res.SkippedSteps++
+				stepsSkippedPanic.Inc()
 				cfg.logf("epoch %d batch %d: %v (step skipped)", epoch, bi, err)
 				continue
 			}
@@ -191,39 +193,59 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 				if snap != nil {
 					snap.restore(model, params, opt)
 					res.Rollbacks++
+					rollbacksTotal.Inc()
 					cfg.logf("epoch %d batch %d: loss %.4g (spiked=%v); rolled back to epoch start",
 						epoch, bi, loss, spiked)
 				} else {
 					res.SkippedSteps++
+					stepsSkippedLoss.Inc()
 					cfg.logf("epoch %d batch %d: loss %.4g not finite (step skipped)", epoch, bi, loss)
 				}
 				continue
 			}
 			if !gradsFinite(params) {
 				res.SkippedSteps++
+				stepsSkippedGrad.Inc()
 				cfg.logf("epoch %d batch %d: NaN/Inf gradient (step skipped)", epoch, bi)
 				continue
 			}
 			lossSum += loss
 			accepted++
+			stepLoss.Set(loss)
+			stepsTotal.Inc()
 			opt.Step(params, lr)
 		}
-		res.Seconds += time.Since(start).Seconds()
+		trainSeconds := time.Since(start).Seconds()
+		res.Seconds += trainSeconds
+		phaseTrainSeconds.Add(trainSeconds)
 		meanLoss := math.NaN()
 		if accepted > 0 {
 			meanLoss = lossSum / float64(accepted)
 		}
+		evalStart := time.Now()
 		top1, top5 := Evaluate(model, testSet, cfg.BatchSize)
+		phaseEvalSeconds.Add(time.Since(evalStart).Seconds())
 		res.TrainLoss = append(res.TrainLoss, meanLoss)
 		res.TestTop1 = append(res.TestTop1, top1)
 		res.TestTop5 = append(res.TestTop5, top5)
+		epochsTotal.Inc()
+		epochGauge.Set(float64(epoch))
+		epochLoss.Set(meanLoss)
+		testTop1.Set(top1)
+		testTop5.Set(top5)
 		cfg.logf("epoch %2d/%d lr %.2e loss %.4f top1 %.2f%% top5 %.2f%%",
 			epoch, cfg.Epochs, lr, meanLoss, top1, top5)
 		if cfg.CkptPath != "" && (epoch%ckptEvery == 0 || epoch == cfg.Epochs) {
 			st := CheckpointState{Epoch: epoch, Seed: cfg.Seed, Adam: opt.Snapshot(params), Result: res}
-			if err := SaveCheckpoint(cfg.CkptPath, model, st); err != nil {
+			ckptStart := time.Now()
+			err := SaveCheckpoint(cfg.CkptPath, model, st)
+			elapsed := time.Since(ckptStart)
+			phaseCkptSeconds.Add(elapsed.Seconds())
+			ckptWriteMs.Observe(float64(elapsed) / float64(time.Millisecond))
+			if err != nil {
 				// Training can proceed without the checkpoint; surface
 				// the failure and keep going.
+				ckptErrors.Inc()
 				cfg.logf("epoch %d: checkpoint failed: %v", epoch, err)
 			}
 		}
