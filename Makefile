@@ -2,6 +2,7 @@
 .PHONY: build test tier1 vet race bench benchreport doccheck verify clean
 
 BENCH_BASELINE := BENCH_kernels.json
+BENCH_TRAIN := BENCH_train.json
 
 build:
 	go build ./...
@@ -21,12 +22,16 @@ vet:
 race:
 	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/ ./internal/obs/
 
-# bench re-measures the kernel baseline, fails loudly if anything
-# regressed beyond benchdiff's tolerance, and promotes the new numbers.
+# bench re-measures the kernel and training-step baselines, fails
+# loudly if anything regressed beyond benchdiff's tolerance, and
+# promotes the new numbers.
 bench:
 	go run ./cmd/benchkernels -out $(BENCH_BASELINE).new
 	go run ./scripts/benchdiff $(BENCH_BASELINE) $(BENCH_BASELINE).new
 	mv $(BENCH_BASELINE).new $(BENCH_BASELINE)
+	go run ./cmd/benchtrain -out $(BENCH_TRAIN).new
+	go run ./scripts/benchdiff $(BENCH_TRAIN) $(BENCH_TRAIN).new
+	mv $(BENCH_TRAIN).new $(BENCH_TRAIN)
 
 # benchreport is the non-blocking flavor used by verify: quick
 # (noisier) measurements, report-only diff.
@@ -34,6 +39,9 @@ benchreport:
 	-go run ./cmd/benchkernels -quick -out $(BENCH_BASELINE).quick
 	-go run ./scripts/benchdiff -tol 1.5 $(BENCH_BASELINE) $(BENCH_BASELINE).quick
 	-rm -f $(BENCH_BASELINE).quick
+	-go run ./cmd/benchtrain -quick -out $(BENCH_TRAIN).quick
+	-go run ./scripts/benchdiff -tol 1.5 $(BENCH_TRAIN) $(BENCH_TRAIN).quick
+	-rm -f $(BENCH_TRAIN).quick
 
 # doccheck enforces doc comments on every exported identifier in the
 # public-facing internal packages (see scripts/doccheck).
@@ -44,4 +52,4 @@ verify: vet tier1 doccheck race benchreport
 
 clean:
 	go clean ./...
-	rm -f $(BENCH_BASELINE).new $(BENCH_BASELINE).quick
+	rm -f $(BENCH_BASELINE).new $(BENCH_BASELINE).quick $(BENCH_TRAIN).new $(BENCH_TRAIN).quick

@@ -169,40 +169,98 @@ type Batch struct {
 
 // Batches splits the dataset into minibatches, shuffling with the given
 // seed (shuffle is skipped when seed is 0). The final short batch is
-// included.
+// included. Every batch owns fresh tensors; the training loop itself
+// uses the allocation-free Iter instead, and Batches remains as the
+// convenient copying form (the batch order and contents are identical).
 func (d *Dataset) Batches(batchSize int, seed int64) []Batch {
-	if batchSize < 1 {
-		panic("data: batch size must be positive")
-	}
-	n := d.Len()
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	if seed != 0 {
-		rng := rand.New(rand.NewSource(seed))
-		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-	}
-	chw := d.X.Shape[1] * d.X.Shape[2] * d.X.Shape[3]
+	it := d.Iter(batchSize)
+	it.Reset(seed)
 	var out []Batch
-	for lo := 0; lo < n; lo += batchSize {
-		hi := lo + batchSize
-		if hi > n {
-			hi = n
-		}
-		b := Batch{
-			X: tensor.New(hi-lo, d.X.Shape[1], d.X.Shape[2], d.X.Shape[3]),
-			Y: make([]int, hi-lo),
-		}
-		for i := lo; i < hi; i++ {
-			src := order[i]
-			copy(b.X.Data[(i-lo)*chw:(i-lo+1)*chw], d.X.Data[src*chw:(src+1)*chw])
-			b.Y[i-lo] = d.Y[src]
-		}
-		out = append(out, b)
+	for it.Next() {
+		b := it.Batch()
+		out = append(out, Batch{X: b.X.Clone(), Y: append([]int(nil), b.Y...)})
 	}
 	return out
 }
+
+// BatchIter walks a dataset in minibatches without allocating per
+// batch: the gathered images land in one reused buffer tensor, and the
+// label slice is likewise reused. The Batch returned by Batch is
+// therefore only valid until the next call to Next or Reset — callers
+// that need to keep a batch must clone it (as Batches does).
+//
+// Reset reshuffles (seed 0 keeps dataset order, matching Batches) and
+// rewinds, so one iterator serves every epoch of a training run.
+type BatchIter struct {
+	ds        *Dataset
+	batchSize int
+	order     []int
+	pos       int
+	x         *tensor.Tensor
+	y         []int
+	cur       Batch
+}
+
+// Iter returns a reusable minibatch iterator over d, positioned before
+// the first batch in dataset order. Call Reset to shuffle.
+func (d *Dataset) Iter(batchSize int) *BatchIter {
+	if batchSize < 1 {
+		panic("data: batch size must be positive")
+	}
+	it := &BatchIter{ds: d, batchSize: batchSize, order: make([]int, d.Len())}
+	for i := range it.order {
+		it.order[i] = i
+	}
+	return it
+}
+
+// Reset rewinds the iterator and reshuffles with the given seed (seed 0
+// restores dataset order). The shuffle matches Batches bit-for-bit.
+func (it *BatchIter) Reset(seed int64) {
+	it.pos = 0
+	for i := range it.order {
+		it.order[i] = i
+	}
+	if seed != 0 {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(it.order), func(i, j int) { it.order[i], it.order[j] = it.order[j], it.order[i] })
+	}
+}
+
+// Next gathers the next minibatch into the iterator's reused buffers,
+// reporting whether one was available. The final short batch is
+// included.
+func (it *BatchIter) Next() bool {
+	n := it.ds.Len()
+	if it.pos >= n {
+		return false
+	}
+	lo := it.pos
+	hi := lo + it.batchSize
+	if hi > n {
+		hi = n
+	}
+	it.pos = hi
+	sh := it.ds.X.Shape
+	chw := sh[1] * sh[2] * sh[3]
+	it.x = tensor.Ensure(it.x, hi-lo, sh[1], sh[2], sh[3])
+	if cap(it.y) < hi-lo {
+		it.y = make([]int, it.batchSize)
+	}
+	it.y = it.y[:hi-lo]
+	for i := lo; i < hi; i++ {
+		src := it.order[i]
+		copy(it.x.Data[(i-lo)*chw:(i-lo+1)*chw], it.ds.X.Data[src*chw:(src+1)*chw])
+		it.y[i-lo] = it.ds.Y[src]
+	}
+	it.cur = Batch{X: it.x, Y: it.y}
+	return true
+}
+
+// Batch returns the minibatch gathered by the last successful Next.
+// The returned tensors are owned by the iterator and overwritten by the
+// next Next/Reset.
+func (it *BatchIter) Batch() Batch { return it.cur }
 
 // LoadBinary reads CIFAR-style binary batches (1 label byte followed by
 // 3072 pixel bytes per record, as in the CIFAR-10 distribution) and

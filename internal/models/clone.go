@@ -1,0 +1,83 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/appmult/retrain/internal/nn"
+)
+
+// Clone returns a deep structural copy of model suitable for use as a
+// data-parallel training replica: every layer is rebuilt with its own
+// parameter tensors, scratch buffers, and caches, while preserving the
+// layer's configuration exactly — each approximate layer keeps its own
+// multiplier/gradient Op (unlike Approximate, which rewrites the whole
+// model onto a single op), its observer state, and its PerChannel
+// setting; BatchNorm layers keep their running statistics.
+//
+// The clone and the original share only immutable configuration (the
+// Op bundles and their LUTs); all mutable state is copied, so the two
+// models can run forward/backward concurrently.
+func Clone(model *nn.Sequential) *nn.Sequential {
+	return cloneLayer(model).(*nn.Sequential)
+}
+
+func cloneLayer(l nn.Layer) nn.Layer {
+	switch t := l.(type) {
+	case *nn.Sequential:
+		out := nn.NewSequential(t.Name())
+		for _, inner := range t.Layers {
+			out.Add(cloneLayer(inner))
+		}
+		return out
+	case *nn.Residual:
+		return nn.NewResidual(t.Name(), cloneLayer(t.Main), cloneLayer(t.Shortcut))
+	case *nn.Conv2D:
+		// The rng is unused: the init is immediately overwritten.
+		c := nn.NewConv2D(t.Name(), t.InC, t.OutC, t.K, t.Stride, t.Pad, rand.New(rand.NewSource(0)))
+		copy(c.Weight.Value.Data, t.Weight.Value.Data)
+		copy(c.Bias.Value.Data, t.Bias.Value.Data)
+		return c
+	case *nn.ApproxConv2D:
+		c := nn.NewApproxConv2D(t.Name(), t.InC, t.OutC, t.K, t.Stride, t.Pad, t.Op(), rand.New(rand.NewSource(0)))
+		c.PerChannel = t.PerChannel
+		c.Observer = t.Observer
+		copy(c.Weight.Value.Data, t.Weight.Value.Data)
+		copy(c.Bias.Value.Data, t.Bias.Value.Data)
+		return c
+	case *nn.ApproxLinear:
+		al := nn.NewApproxLinear(t.Name(), t.In, t.Out, t.Op(), rand.New(rand.NewSource(0)))
+		al.Observer = t.Observer
+		copy(al.Weight.Value.Data, t.Weight.Value.Data)
+		copy(al.Bias.Value.Data, t.Bias.Value.Data)
+		return al
+	case *nn.Linear:
+		ln := nn.NewLinear(t.Name(), t.In, t.Out, rand.New(rand.NewSource(0)))
+		copy(ln.Weight.Value.Data, t.Weight.Value.Data)
+		copy(ln.Bias.Value.Data, t.Bias.Value.Data)
+		return ln
+	case *nn.BatchNorm2D:
+		bn := nn.NewBatchNorm2D(t.Name(), t.C)
+		bn.Eps, bn.Momentum = t.Eps, t.Momentum
+		copy(bn.Gamma.Value.Data, t.Gamma.Value.Data)
+		copy(bn.Beta.Value.Data, t.Beta.Value.Data)
+		copy(bn.RunningMean.Data, t.RunningMean.Data)
+		copy(bn.RunningVar.Data, t.RunningVar.Data)
+		return bn
+	case *nn.ReLU:
+		return nn.NewReLU()
+	case *nn.Flatten:
+		return nn.NewFlatten()
+	case *nn.MaxPool2D:
+		return nn.NewMaxPool2D(t.K, t.Stride)
+	case *nn.GlobalAvgPool:
+		return nn.NewGlobalAvgPool()
+	case nn.Identity:
+		return nn.Identity{}
+	default:
+		// Even parameterless unknown layers cache activations between
+		// Forward and Backward, so sharing them across concurrent
+		// replicas would race. Unknown types must be taught to Clone.
+		panic(fmt.Sprintf("models: Clone cannot replicate layer type %T (%s)", l, l.Name()))
+	}
+}

@@ -1,0 +1,87 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// cloneModels returns the architectures Clone must replicate exactly:
+// a BN-free stack with both approximate layer kinds, a VGG (BatchNorm),
+// and a ResNet (Residual blocks, GlobalAvgPool).
+func cloneModels() map[string]*nn.Sequential {
+	op := nn.STEOp(appmult.NewAccurate(7))
+	rng := rand.New(rand.NewSource(9))
+	plain := nn.NewSequential("plain",
+		nn.NewApproxConv2D("c1", 3, 4, 3, 1, 1, op, rng),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(),
+		nn.NewApproxLinear("fc", 4*4*4, 3, op, rng),
+	)
+	return map[string]*nn.Sequential{
+		"plain":    plain,
+		"vgg11":    VGG(11, Config{Classes: 4, InputHW: 8, Width: 0.1, Conv: ApproxConv(op), Seed: 2}),
+		"resnet18": ResNet(18, Config{Classes: 4, InputHW: 8, Width: 0.1, Conv: ApproxConv(op), Seed: 3}),
+	}
+}
+
+func TestCloneBitEqualAndIndependent(t *testing.T) {
+	for name, src := range cloneModels() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4))
+			warm := tensor.New(2, 3, 8, 8)
+			warm.RandNormal(rng, 1)
+			src.Forward(warm, true) // non-initial observer/BN state
+
+			c := Clone(src)
+
+			x := tensor.New(2, 3, 8, 8)
+			x.RandNormal(rng, 1)
+			want := src.Forward(x.Clone(), false).Clone()
+			got := c.Forward(x.Clone(), false)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("clone forward differs at %d: %g != %g", i, got.Data[i], want.Data[i])
+				}
+			}
+
+			sp, cp := src.Params(), c.Params()
+			if len(sp) != len(cp) {
+				t.Fatalf("param count %d vs %d", len(cp), len(sp))
+			}
+			for i := range sp {
+				if &sp[i].Value.Data[0] == &cp[i].Value.Data[0] {
+					t.Fatalf("clone aliases parameter %q", sp[i].Name)
+				}
+			}
+			ss, cs := nn.CollectState(src), nn.CollectState(c)
+			if len(ss) != len(cs) {
+				t.Fatalf("state count %d vs %d", len(cs), len(ss))
+			}
+			for i := range ss {
+				for j := range ss[i] {
+					if cs[i][j] != ss[i][j] {
+						t.Fatalf("state vector %d differs at %d", i, j)
+					}
+				}
+			}
+
+			// Mutating the clone must not disturb the source.
+			for _, p := range cp {
+				for j := range p.Value.Data {
+					p.Value.Data[j] += 0.5
+				}
+			}
+			again := src.Forward(x.Clone(), false)
+			for i := range want.Data {
+				if again.Data[i] != want.Data[i] {
+					t.Fatalf("source changed after clone mutation at %d", i)
+				}
+			}
+		})
+	}
+}

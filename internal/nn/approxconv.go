@@ -39,6 +39,9 @@ type ApproxConv2D struct {
 
 	op *Op
 
+	// Deferred-observe state (see ObservedLayer).
+	lag observerLag
+
 	// Forward caches consumed by Backward.
 	geom         tensor.ConvGeom
 	batch        int
@@ -112,9 +115,7 @@ func (c *ApproxConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.geom = g
 	c.batch = x.Shape[0]
 
-	if train || !c.Observer.Seen() {
-		c.Observer.Observe(x)
-	}
+	c.lag.observe(&c.Observer, x, train)
 	c.px = c.Observer.Params(c.op.Bits)
 	k := g.K()
 	nw := c.OutC * k

@@ -24,6 +24,29 @@ type BatchNorm2D struct {
 	xhat    *tensor.Tensor
 	invStd  []float64
 	inShape []int
+
+	// Sync-BN hookup (see BNSyncGroup): when sync is non-nil, training
+	// forwards compute full-batch statistics by all-reducing moments
+	// across the group's participants, and Backward all-reduces the
+	// gradient sums the same way.
+	sync       *BNSyncGroup
+	syncIdx    int
+	syncActive bool
+	syncCnt    float64
+	meanBuf    []float64
+}
+
+// SetSyncGroup attaches the layer to a cross-shard sync group as
+// participant idx (nil detaches, restoring single-replica behaviour).
+// All replicas of a sharded model attach their position-matched
+// BatchNorm2D layers to one shared group.
+func (b *BatchNorm2D) SetSyncGroup(g *BNSyncGroup, idx int) {
+	if g != nil && g.c != b.C {
+		panic(fmt.Sprintf("nn: %s has %d channels, sync group %d", b.name, b.C, g.c))
+	}
+	b.sync = g
+	b.syncIdx = idx
+	b.syncActive = false
 }
 
 // NewBatchNorm2D constructs a batch normalization layer over c channels.
@@ -51,6 +74,10 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != b.C {
 		panic(fmt.Sprintf("nn: %s expects NCHW with C=%d, got %v", b.name, b.C, x.Shape))
 	}
+	if train && b.sync != nil {
+		return b.forwardSync(x)
+	}
+	b.syncActive = false
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	hw := h * w
 	cnt := float64(n * hw)
@@ -101,9 +128,109 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// forwardSync is the training forward in sync-BN mode: a two-phase
+// cross-shard moment all-reduce. Phase one publishes the local
+// per-channel sums and waits; every participant then folds the slots
+// in ascending participant order, so all replicas derive the identical
+// full-batch mean. Phase two does the same for the squared deviations
+// about that global mean, reproducing the legacy two-pass variance.
+// Running statistics update with the global moments on every replica,
+// keeping the replicas' state identical without a broadcast. With one
+// participant the math degenerates to the legacy path exactly.
+func (b *BatchNorm2D) forwardSync(x *tensor.Tensor) *tensor.Tensor {
+	if b.syncIdx >= b.sync.parts {
+		panic(fmt.Sprintf("nn: %s sync participant %d of %d — BNSyncGroup not configured for this step",
+			b.name, b.syncIdx, b.sync.parts))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := h * w
+	b.inShape = append(b.inShape[:0], x.Shape...)
+	b.syncActive = true
+
+	out := tensor.New(x.Shape...)
+	b.xhat = tensor.New(x.Shape...)
+	b.invStd = make([]float64, c)
+	if cap(b.meanBuf) < c {
+		b.meanBuf = make([]float64, c)
+	}
+	mean := b.meanBuf[:c]
+
+	g := b.sync
+	sum := g.sum[b.syncIdx]
+	for ch := 0; ch < c; ch++ {
+		var s float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				s += float64(x.Data[base+j])
+			}
+		}
+		sum[ch] = s
+	}
+	g.cnt[b.syncIdx] = n * hw
+	g.bar.wait()
+
+	totalCnt := 0
+	for p := 0; p < g.parts; p++ {
+		totalCnt += g.cnt[p]
+	}
+	cnt := float64(totalCnt)
+	b.syncCnt = cnt
+	for ch := 0; ch < c; ch++ {
+		var s float64
+		for p := 0; p < g.parts; p++ {
+			s += g.sum[p][ch]
+		}
+		mean[ch] = s / cnt
+	}
+
+	sq := g.sq[b.syncIdx]
+	for ch := 0; ch < c; ch++ {
+		var s float64
+		m := mean[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				d := float64(x.Data[base+j]) - m
+				s += d * d
+			}
+		}
+		sq[ch] = s
+	}
+	g.bar.wait()
+
+	for ch := 0; ch < c; ch++ {
+		var vr float64
+		for p := 0; p < g.parts; p++ {
+			vr += g.sq[p][ch]
+		}
+		vr /= cnt
+		m := b.Momentum
+		b.RunningMean.Data[ch] = float32((1-m)*float64(b.RunningMean.Data[ch]) + m*mean[ch])
+		b.RunningVar.Data[ch] = float32((1-m)*float64(b.RunningVar.Data[ch]) + m*vr)
+		inv := 1 / math.Sqrt(vr+b.Eps)
+		b.invStd[ch] = inv
+		ga := float64(b.Gamma.Value.Data[ch])
+		bt := float64(b.Beta.Value.Data[ch])
+		mch := mean[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				xh := (float64(x.Data[base+j]) - mch) * inv
+				b.xhat.Data[base+j] = float32(xh)
+				out.Data[base+j] = float32(ga*xh + bt)
+			}
+		}
+	}
+	return out
+}
+
 // Backward implements Layer. It uses the full batch-statistics
 // gradient (the training-mode formula).
 func (b *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if b.syncActive {
+		return b.backwardSync(dy)
+	}
 	n, c := b.inShape[0], b.inShape[1]
 	hw := b.inShape[2] * b.inShape[3]
 	cnt := float64(n * hw)
@@ -130,6 +257,58 @@ func (b *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 				g := float64(dy.Data[base+j])
 				xh := float64(b.xhat.Data[base+j])
 				dx.Data[base+j] = float32(gamma * inv / cnt * (cnt*g - sumDy - xh*sumDyXhat))
+			}
+		}
+	}
+	return dx
+}
+
+// backwardSync is Backward in sync-BN mode: the per-channel gradient
+// sums are all-reduced across the group so dx uses the full-batch
+// sums and count (the same formula the legacy path applies to a whole
+// batch). Beta/Gamma accumulate only the LOCAL sums — the sharded
+// trainer's generic cross-shard gradient reduction adds the shards'
+// parameter gradients together, which completes those sums globally.
+func (b *BatchNorm2D) backwardSync(dy *tensor.Tensor) *tensor.Tensor {
+	n, c := b.inShape[0], b.inShape[1]
+	hw := b.inShape[2] * b.inShape[3]
+	dx := tensor.New(b.inShape...)
+
+	g := b.sync
+	ldy := g.dy[b.syncIdx]
+	ldyx := g.dyx[b.syncIdx]
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				gv := float64(dy.Data[base+j])
+				sumDy += gv
+				sumDyXhat += gv * float64(b.xhat.Data[base+j])
+			}
+		}
+		ldy[ch] = sumDy
+		ldyx[ch] = sumDyXhat
+	}
+	g.bar.wait()
+
+	cnt := b.syncCnt
+	for ch := 0; ch < c; ch++ {
+		b.Beta.Grad.Data[ch] += float32(ldy[ch])
+		b.Gamma.Grad.Data[ch] += float32(ldyx[ch])
+		var sumDy, sumDyXhat float64
+		for p := 0; p < g.parts; p++ {
+			sumDy += g.dy[p][ch]
+			sumDyXhat += g.dyx[p][ch]
+		}
+		gamma := float64(b.Gamma.Value.Data[ch])
+		inv := b.invStd[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for j := 0; j < hw; j++ {
+				gv := float64(dy.Data[base+j])
+				xh := float64(b.xhat.Data[base+j])
+				dx.Data[base+j] = float32(gamma * inv / cnt * (cnt*gv - sumDy - xh*sumDyXhat))
 			}
 		}
 	}

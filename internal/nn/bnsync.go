@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSyncAborted is the panic value delivered to every participant
+// blocked in a BNSyncGroup barrier when the group is aborted (because
+// a sibling shard panicked). The sharded trainer's workers recover it
+// and treat it as a secondary failure: the original panic, not the
+// abort, is what surfaces from the step.
+var ErrSyncAborted = errors.New("nn: batchnorm sync aborted")
+
+// BNSyncGroup coordinates one BatchNorm2D position across the model
+// replicas of a data-parallel sharded training step (sync-BN). Every
+// replica's BatchNorm2D at the same architectural position shares one
+// group: during a training forward each participant publishes its
+// slice's per-channel moments into its own slot, waits at a barrier,
+// and then every participant folds all slots in ascending participant
+// order — so all replicas compute identical full-batch statistics, in
+// the same order, without a designated leader. Backward all-reduces
+// the per-channel gradient sums the same way.
+//
+// Configure must be called (single-threaded) before each step; slots
+// are reused across steps, so steady-state steps do not allocate.
+type BNSyncGroup struct {
+	c     int
+	parts int
+	bar   syncBarrier
+
+	// Per-participant slots, each c channels wide. sum/sq carry the
+	// forward moment passes; dy/dyx the backward gradient sums. cnt is
+	// the participant's element count per channel (rows * H * W).
+	sum, sq, dy, dyx [][]float64
+	cnt              []int
+}
+
+// NewBNSyncGroup creates a group for one BatchNorm2D position with c
+// channels.
+func NewBNSyncGroup(c int) *BNSyncGroup {
+	if c < 1 {
+		panic("nn: BNSyncGroup needs at least one channel")
+	}
+	return &BNSyncGroup{c: c}
+}
+
+// Configure prepares the group for one training step with parts active
+// participants (participant indices 0..parts-1). It resets the barrier
+// (clearing any previous abort) and sizes the moment slots. It must
+// not be called while participants are inside Forward/Backward.
+func (g *BNSyncGroup) Configure(parts int) {
+	if parts < 1 {
+		panic(fmt.Sprintf("nn: BNSyncGroup configured with %d participants", parts))
+	}
+	g.parts = parts
+	g.bar.reset(parts)
+	for len(g.sum) < parts {
+		g.sum = append(g.sum, make([]float64, g.c))
+		g.sq = append(g.sq, make([]float64, g.c))
+		g.dy = append(g.dy, make([]float64, g.c))
+		g.dyx = append(g.dyx, make([]float64, g.c))
+		g.cnt = append(g.cnt, 0)
+	}
+}
+
+// Abort poisons the group's barrier: every participant currently or
+// subsequently waiting panics with ErrSyncAborted instead of blocking
+// forever on a sibling that died. The next Configure clears the abort.
+func (g *BNSyncGroup) Abort() { g.bar.abort() }
+
+// syncBarrier is a reusable (cyclic) barrier with abort support. wait
+// blocks until parts participants have arrived, then releases them all
+// and resets for the next phase. abort wakes every waiter with a panic
+// so a dead sibling cannot deadlock the survivors.
+type syncBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parts   int
+	arrived int
+	gen     int
+	aborted bool
+}
+
+func (b *syncBarrier) reset(parts int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	b.parts = parts
+	b.arrived = 0
+	b.gen++
+	b.aborted = false
+}
+
+// wait blocks until every participant of the current generation has
+// arrived. It panics with ErrSyncAborted when the barrier is poisoned.
+func (b *syncBarrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	if b.aborted {
+		panic(ErrSyncAborted)
+	}
+	b.arrived++
+	if b.arrived == b.parts {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		panic(ErrSyncAborted)
+	}
+}
+
+func (b *syncBarrier) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	b.aborted = true
+	b.cond.Broadcast()
+}

@@ -47,11 +47,15 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
 	out := tensor.MatMulTransB(x, l.Weight.Value)
 	n := x.Shape[0]
-	for i := 0; i < n; i++ {
-		for j := 0; j < l.Out; j++ {
-			out.Data[i*l.Out+j] += l.Bias.Value.Data[j]
+	bias := l.Bias.Value.Data
+	tensor.ParallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.Data[i*l.Out : (i+1)*l.Out]
+			for j, b := range bias {
+				row[j] += b
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -61,11 +65,19 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dW := tensor.MatMulTransA(dy, l.x)
 	l.Weight.Grad.Add(dW)
 	n := dy.Shape[0]
-	for i := 0; i < n; i++ {
-		for j := 0; j < l.Out; j++ {
-			l.Bias.Grad.Data[j] += dy.Data[i*l.Out+j]
+	// Parallel over output columns so each worker owns its accumulator;
+	// rows still fold in ascending order, keeping the sums bit-identical
+	// to the serial loop.
+	grad := l.Bias.Grad.Data
+	tensor.ParallelRows(l.Out, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			g := grad[j]
+			for i := 0; i < n; i++ {
+				g += dy.Data[i*l.Out+j]
+			}
+			grad[j] = g
 		}
-	}
+	})
 	return tensor.MatMul(dy, l.Weight.Value)
 }
 
@@ -81,6 +93,9 @@ type ApproxLinear struct {
 	Bias     *Param
 	Observer quant.Observer
 	op       *Op
+
+	// Deferred-observe state (see ObservedLayer).
+	lag observerLag
 
 	rows         int
 	xq, wq       []uint8
@@ -126,9 +141,7 @@ func (l *ApproxLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != l.In {
 		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.name, l.In, x.Shape))
 	}
-	if train || !l.Observer.Seen() {
-		l.Observer.Observe(x)
-	}
+	l.lag.observe(&l.Observer, x, train)
 	l.px = l.Observer.Params(l.op.Bits)
 	p := quant.CalibrateTensor(l.Weight.Value, l.op.Bits)
 	l.pw = grow(l.pw, 1)

@@ -12,6 +12,21 @@ import (
 // logits (softmax - onehot, scaled by 1/N). It is numerically
 // stabilized by max subtraction.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n := logits.Shape[0]
+	grad := tensor.New(logits.Shape...)
+	sum := SoftmaxCrossEntropySumInto(grad, logits, labels, n)
+	return sum / float64(n), grad
+}
+
+// SoftmaxCrossEntropySumInto is the slice-level form of
+// SoftmaxCrossEntropy used by the sharded trainer: it writes the loss
+// gradient into dst (shape (N, C), overwritten) and returns the SUM of
+// the per-row losses rather than their mean. The gradient is scaled by
+// 1/denom — the full minibatch size when logits hold only one shard's
+// rows — so per-shard gradients sum to exactly the full-batch gradient.
+// Row losses accumulate sequentially in float64, making the returned
+// sum independent of how the batch was sliced.
+func SoftmaxCrossEntropySumInto(dst, logits *tensor.Tensor, labels []int, denom int) float64 {
 	if len(logits.Shape) != 2 {
 		panic(fmt.Sprintf("nn: loss expects (N,C) logits, got %v", logits.Shape))
 	}
@@ -19,7 +34,12 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(labels), n))
 	}
-	grad := tensor.New(n, c)
+	if dst.Numel() != n*c {
+		panic(fmt.Sprintf("nn: loss gradient buffer %v for logits %v", dst.Shape, logits.Shape))
+	}
+	if denom < 1 {
+		panic("nn: loss denominator must be positive")
+	}
 	var loss float64
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*c : (i+1)*c]
@@ -39,17 +59,17 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 		}
 		logSum := math.Log(sum)
 		loss += logSum - float64(row[label]-mx)
-		inv := 1 / float64(n)
+		inv := 1 / float64(denom)
 		for j, v := range row {
 			p := math.Exp(float64(v-mx)) / sum
 			g := p * inv
 			if j == label {
 				g -= inv
 			}
-			grad.Data[i*c+j] = float32(g)
+			dst.Data[i*c+j] = float32(g)
 		}
 	}
-	return loss / float64(n), grad
+	return loss
 }
 
 // TopKCorrect counts rows whose label appears in the top-k logits —

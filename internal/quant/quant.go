@@ -126,6 +126,17 @@ type Observer struct {
 // Observe folds one tensor's range into the running estimate.
 func (o *Observer) Observe(t *tensor.Tensor) {
 	mn, mx := t.MinMax()
+	o.ObserveRange(mn, mx)
+}
+
+// ObserveRange folds an externally computed [mn, mx] range into the
+// running estimate, exactly as Observe would fold the tensor it was
+// computed from. It exists for the data-parallel sharded trainer: each
+// shard records its slice's raw range during the forward pass, the
+// trainer merges them (min/max is order-independent), and every
+// replica folds the identical merged range — so all replicas hold
+// bit-identical observer state without observing the same tensor.
+func (o *Observer) ObserveRange(mn, mx float32) {
 	if !o.seen {
 		o.min, o.max = mn, mx
 		o.seen = true

@@ -68,6 +68,19 @@ func Ensure(t *Tensor, shape ...int) *Tensor {
 	return t
 }
 
+// ViewRows returns a view of rows [lo, hi) of t's outermost dimension,
+// sharing t's backing storage (no copy). It is how the sharded trainer
+// hands each replica its contiguous slice of a minibatch: mutating the
+// view's data mutates t.
+func ViewRows(t *Tensor, lo, hi int) *Tensor {
+	if lo < 0 || hi > t.Shape[0] || lo >= hi {
+		panic(fmt.Sprintf("tensor: row view [%d, %d) out of range for shape %v", lo, hi, t.Shape))
+	}
+	stride := len(t.Data) / t.Shape[0]
+	shape := append([]int{hi - lo}, t.Shape[1:]...)
+	return &Tensor{Shape: shape, Data: t.Data[lo*stride : hi*stride]}
+}
+
 // Numel returns the total element count.
 func (t *Tensor) Numel() int { return len(t.Data) }
 

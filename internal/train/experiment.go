@@ -164,11 +164,15 @@ type CompareOptions struct {
 	// CkptEvery and SpikeFactor forward to Config.
 	CkptEvery   int
 	SpikeFactor float64
+	// Shards forwards to Config.Shards: every phase trains with the
+	// data-parallel sharded step when >= 1.
+	Shards int
 }
 
 // config derives the phase Config for a checkpoint file name.
 func (o CompareOptions) config(base Config, name string) Config {
 	base.SpikeFactor = o.SpikeFactor
+	base.Shards = o.Shards
 	if o.CkptDir != "" {
 		base.CkptPath = filepath.Join(o.CkptDir, name+".ckpt")
 		base.CkptEvery = o.CkptEvery

@@ -54,4 +54,16 @@ var (
 		obs.LatencyBucketsMs)
 	ckptErrors = obs.Default().Counter("train_checkpoint_errors_total",
 		"Checkpoint writes that failed (training continues without them).")
+
+	shardGauge = obs.Default().Gauge("train_shards",
+		"Replica count of the most recently constructed sharded trainer.")
+	shardSlicesGauge = obs.Default().Gauge("train_shard_slices",
+		"Gradient slices of the most recent sharded step.")
+	shardStepsTotal = obs.Default().Counter("train_shard_steps_total",
+		"Sharded training steps executed (forward/backward/reduce cycles).")
+	shardReduceMs = obs.Default().Histogram("train_shard_reduce_ms",
+		"Latency of one post-step deterministic gradient tree reduction plus observer-range merge.",
+		obs.LatencyBucketsMs)
+	shardBusySeconds = obs.Default().Counter("train_shard_busy_seconds_total",
+		"Cumulative shard-worker busy time (concurrent forward/backward/harvest, summed over replicas).")
 )

@@ -32,6 +32,17 @@ type Config struct {
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
+	// Shards selects data-parallel sharded training when >= 1: each
+	// step splits the minibatch across Shards model replicas and
+	// reduces the gradients deterministically (see ShardedStep). Zero
+	// keeps the legacy single-replica step. Sharded runs are
+	// bit-reproducible, and for BatchNorm-free models any Shards value
+	// produces bit-identical trajectories (Shards=4 == Shards=1).
+	Shards int
+	// ShardSliceRows overrides the gradient-slice granularity of
+	// sharded steps (default 8 rows); see ShardedConfig.
+	ShardSliceRows int
+
 	// Robustness knobs (see README "Robustness & fault model"). The
 	// per-step NaN/Inf gradient guard and panic recovery are always on:
 	// they never alter a healthy run, only turn poisoned steps into
@@ -163,6 +174,17 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 	if ckptEvery < 1 {
 		ckptEvery = 1
 	}
+	var shard *ShardedStep
+	if cfg.Shards >= 1 {
+		seq, ok := model.(*nn.Sequential)
+		if !ok {
+			panic(fmt.Sprintf("train: sharded training needs *nn.Sequential, got %T", model))
+		}
+		// Built after resume so the clones copy the restored state.
+		shard = NewShardedStep(seq, ShardedConfig{Shards: cfg.Shards, SliceRows: cfg.ShardSliceRows})
+		defer shard.Detach()
+	}
+	it := trainSet.Iter(cfg.BatchSize)
 	for epoch := startEpoch; epoch <= cfg.Epochs; epoch++ {
 		lr := sched.At(epoch)
 		learningRate.Set(lr)
@@ -172,11 +194,16 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 		}
 		var lossSum float64
 		var accepted int
-		batches := trainSet.Batches(cfg.BatchSize, cfg.Seed+int64(epoch))
+		it.Reset(cfg.Seed + int64(epoch))
 		start := time.Now()
-		for bi, b := range batches {
+		for bi := 0; it.Next(); bi++ {
+			b := it.Batch()
 			var loss float64
 			err := data.Guarded(func() {
+				if shard != nil {
+					loss = shard.Step(b.X, b.Y)
+					return
+				}
 				nn.ZeroGrads(model)
 				out := model.Forward(b.X, true)
 				var grad *tensor.Tensor
@@ -192,6 +219,9 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 			if bad, spiked := lossAnomaly(loss, lossSum, accepted, cfg.SpikeFactor); bad {
 				if snap != nil {
 					snap.restore(model, params, opt)
+					if shard != nil {
+						shard.SyncReplicas()
+					}
 					res.Rollbacks++
 					rollbacksTotal.Inc()
 					cfg.logf("epoch %d batch %d: loss %.4g (spiked=%v); rolled back to epoch start",
@@ -214,6 +244,9 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 			stepLoss.Set(loss)
 			stepsTotal.Inc()
 			opt.Step(params, lr)
+			if shard != nil {
+				shard.Broadcast()
+			}
 		}
 		trainSeconds := time.Since(start).Seconds()
 		res.Seconds += trainSeconds
@@ -321,7 +354,9 @@ func (s *epochSnapshot) restore(model nn.Layer, params []*nn.Param, opt *optim.A
 // (Top-5 degenerates to 100% when the class count is 5 or less.)
 func Evaluate(model nn.Layer, ds *data.Dataset, batchSize int) (top1, top5 float64) {
 	var c1, c5, n int
-	for _, b := range ds.Batches(batchSize, 0) {
+	it := ds.Iter(batchSize)
+	for it.Next() {
+		b := it.Batch()
 		out := model.Forward(b.X, false)
 		c1 += nn.TopKCorrect(out, b.Y, 1)
 		c5 += nn.TopKCorrect(out, b.Y, 5)
