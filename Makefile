@@ -17,10 +17,10 @@ vet:
 
 # The concurrency-critical packages get a -race pass: the worker pool
 # and the kernels scheduled on it, the guarded train loop, the retrying
-# data pipeline, the fault injector, and the serving subsystem's
-# batcher/replica machinery.
+# data pipeline, the fault injector, the serving subsystem's
+# batcher/replica machinery, and the distributed coordinator/worker.
 race:
-	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/ ./internal/obs/
+	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/ ./internal/obs/ ./internal/dist/
 
 # bench re-measures the kernel and training-step baselines, fails
 # loudly if anything regressed beyond benchdiff's tolerance, and
@@ -46,7 +46,7 @@ benchreport:
 # doccheck enforces doc comments on every exported identifier in the
 # public-facing internal packages (see scripts/doccheck).
 doccheck:
-	go run ./scripts/doccheck ./internal/serve ./internal/nn ./internal/obs
+	go run ./scripts/doccheck ./internal/serve ./internal/nn ./internal/obs ./internal/dist ./cmd/traind
 
 verify: vet tier1 doccheck race benchreport
 

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/appmult/retrain/internal/dist"
 )
 
 type predictRequest struct {
@@ -44,10 +46,14 @@ func main() {
 		conc    = flag.Int("c", 16, "concurrent workers")
 		timeout = flag.Int("timeout-ms", 0, "per-request server-side deadline (0: none)")
 		seed    = flag.Int64("seed", 1, "image generator seed")
+		retries = flag.Int("retries", 5, "max attempts per request for transient failures (dial errors, 5xx)")
 	)
 	flag.Parse()
 
-	imageLen, name := discover(*base, *model)
+	bo := dist.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	var retried atomic.Int64
+
+	imageLen, name := discover(*base, *model, bo, *retries, &retried)
 	log.Printf("target %s model %q (image_len=%d), %d requests over %d workers",
 		*base, name, imageLen, *n, *conc)
 
@@ -72,7 +78,9 @@ func main() {
 				}
 				body, _ := json.Marshal(predictRequest{Model: name, Image: img, TimeoutMS: *timeout})
 				t0 := time.Now()
-				resp, err := http.Post(*base+"/v1/predict", "application/json", bytes.NewReader(body))
+				resp, err := doWithRetry(func() (*http.Response, error) {
+					return http.Post(*base+"/v1/predict", "application/json", bytes.NewReader(body))
+				}, bo, rng, *retries, func() { retried.Add(1) })
 				if err != nil {
 					mu.Lock()
 					codes[-1]++
@@ -98,6 +106,9 @@ func main() {
 
 	okN := len(latencies)
 	fmt.Printf("requests        %d ok / %d total in %.2fs\n", okN, *n, elapsed.Seconds())
+	if r := retried.Load(); r > 0 {
+		fmt.Printf("retries         %d (transient failures retried with backoff)\n", r)
+	}
 	for code, c := range codes {
 		if code != http.StatusOK {
 			fmt.Printf("  status %d     %d\n", code, c)
@@ -117,9 +128,13 @@ func main() {
 	}
 }
 
-// discover reads /v1/models to find the target model's input size.
-func discover(base, model string) (imageLen int, name string) {
-	resp, err := http.Get(base + "/v1/models")
+// discover reads /v1/models to find the target model's input size. It
+// retries transient failures so loadgen can be launched while the
+// server is still coming up.
+func discover(base, model string, bo dist.Backoff, retries int, retried *atomic.Int64) (imageLen int, name string) {
+	resp, err := doWithRetry(func() (*http.Response, error) {
+		return http.Get(base + "/v1/models")
+	}, bo, rand.New(rand.NewSource(0)), retries, func() { retried.Add(1) })
 	if err != nil {
 		log.Fatalf("discovering models: %v", err)
 	}

@@ -57,7 +57,8 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume killed phases from their checkpoints under -ckpt")
 		every    = flag.Int("ckpt-every", 1, "epochs between checkpoints")
 		spike    = flag.Float64("spike", 0, "loss-spike rollback factor (>1 enables; e.g. 10)")
-		shards   = flag.Int("shards", 0, "data-parallel shard count (>=1 enables the sharded step; 0 = legacy single replica)")
+		shards    = flag.Int("shards", 0, "data-parallel shard count (>=1 enables the sharded step; 0 = legacy single replica)")
+		sliceRows = flag.Int("slice-rows", 0, "gradient-slice granularity for the sharded step (0 = default 8)")
 		metricsA = flag.String("metrics-addr", "", "optional debug listener for /metrics and /debug/pprof (e.g. :8091) exposing live training telemetry")
 	)
 	flag.Parse()
@@ -83,7 +84,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	opt := train.CompareOptions{CkptDir: *ckpt, Resume: *resume, CkptEvery: *every, SpikeFactor: *spike, Shards: *shards}
+	opt := train.CompareOptions{CkptDir: *ckpt, Resume: *resume, CkptEvery: *every, SpikeFactor: *spike, Shards: *shards, SliceRows: *sliceRows}
 
 	var rows []train.CompareResult
 	if *all {

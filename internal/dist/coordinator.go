@@ -1,0 +1,1043 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/tensor"
+	"github.com/appmult/retrain/internal/train"
+)
+
+// CoordinatorConfig parameterizes NewCoordinator.
+type CoordinatorConfig struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// HeartbeatEvery is the ping cadence per worker (default 500ms).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout declares a worker dead when no pong arrived for
+	// this long (default 5s).
+	HeartbeatTimeout time.Duration
+	// StepTimeout bounds one step's gather phase: workers still holding
+	// slices at the deadline are declared dead and their slices
+	// reassigned (default 2m).
+	StepTimeout time.Duration
+	// JoinTimeout bounds how long a step waits with zero live workers
+	// before panicking (the guarded train loop then counts a skipped
+	// step and retries on the next batch). Default StepTimeout.
+	JoinTimeout time.Duration
+	// WriteTimeout bounds each frame write so a dead peer cannot block
+	// the coordinator (default 10s).
+	WriteTimeout time.Duration
+	// SliceRows overrides the BN-free gradient-slice granularity
+	// (default train.DefaultSliceRows — the bit-identity granularity).
+	SliceRows int
+	// Logf, when non-nil, receives progress and failure lines.
+	Logf func(format string, args ...any)
+	// WrapConn, when non-nil, wraps every accepted connection; tests
+	// use it to interpose faults.NetFaultModel injectors or to grab
+	// connections for forced kills.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.StepTimeout <= 0 {
+		c.StepTimeout = 2 * time.Minute
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = c.StepTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.SliceRows < 1 {
+		c.SliceRows = train.DefaultSliceRows
+	}
+	return c
+}
+
+// evKind classifies a worker event delivered to the training
+// goroutine.
+type evKind int
+
+const (
+	evResult  evKind = iota // a SliceResult frame arrived
+	evAborted               // a SliceAborted frame arrived
+	evDead                  // the worker was declared dead
+)
+
+// event is one worker-originated occurrence. Readers and heartbeat
+// monitors produce events; only the training goroutine consumes them.
+type event struct {
+	w       *remote
+	kind    evKind
+	step    uint64
+	attempt uint32
+	slice   int
+	fatal   bool
+	reason  string
+	payload []byte // SliceResult payload copy, decoded lazily
+}
+
+// remote is the coordinator's handle on one worker connection.
+type remote struct {
+	id       int
+	fc       *frameConn
+	lastPong atomic.Int64
+	dead     atomic.Bool
+	// outstanding tracks the slices currently assigned to this worker.
+	// Only the training goroutine touches it.
+	outstanding map[int]bool
+}
+
+// Coordinator owns the primary model and drives remote workers through
+// training steps. It implements train.Stepper, so train.Run uses it
+// exactly like an in-process ShardedStep. All Stepper methods (and
+// AwaitWorkers/Close) must be called from one goroutine — the training
+// goroutine — which is also the only place workers are admitted, so
+// model state is never snapshotted concurrently with an optimizer
+// step.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	spec Spec
+
+	model    *nn.Sequential
+	params   []*nn.Param
+	observed []nn.ObservedLayer
+	bns      []*nn.BatchNorm2D
+	groups   []*nn.BNSyncGroup
+	hasBN    bool
+	offsets  []int
+	numel    int
+
+	ln     net.Listener
+	joinCh chan *remote
+	events chan event
+	done   chan struct{}
+
+	// Training-goroutine-owned scheduling state.
+	workers map[int]*remote
+	stepID  uint64
+	queue   []int
+
+	// mu guards the sync-BN handler coordination: the current attempt
+	// tag, the in-flight handler count, and the moment stash.
+	mu       sync.Mutex
+	bnCond   *sync.Cond
+	attempt  uint32
+	bnActive int
+	stash    []bnStash
+	closed   bool
+
+	// Per-step scratch, grown on demand and reused.
+	sliceGrads [][]float32
+	sliceLoss  []float64
+	rngMin     []float32
+	rngMax     []float32
+	rngOK      []bool
+	obsMn      []float32
+	obsMx      []float32
+	obsHave    []bool
+	paramBuf   []float32
+}
+
+// bnStash captures one BN position's folded moments during a step so
+// the coordinator can update the primary's running statistics with
+// arithmetic bit-identical to the workers' forwardSync — but only on
+// step commit, leaving the primary pristine across aborted attempts.
+type bnStash struct {
+	sum     []float64
+	sq      []float64
+	cnt     int
+	haveSum bool
+	haveSq  bool
+}
+
+// NewCoordinator starts listening and accepting workers for the given
+// job. model becomes the primary replica: gradients reduce into it,
+// the caller's optimizer steps it, checkpoints and evaluation read it.
+// The spec must describe the same model (workers rebuild from the spec
+// alone). Call Close when training finishes.
+func NewCoordinator(model *nn.Sequential, spec Spec, cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen %s: %w", cfg.Addr, err)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		spec:    spec,
+		model:   model,
+		params:  model.Params(),
+		ln:      ln,
+		joinCh:  make(chan *remote, 64),
+		events:  make(chan event, 4096),
+		done:    make(chan struct{}),
+		workers: make(map[int]*remote),
+	}
+	c.bnCond = sync.NewCond(&c.mu)
+	nn.VisitLayers(model, func(l nn.Layer) {
+		if ol, ok := l.(nn.ObservedLayer); ok {
+			c.observed = append(c.observed, ol)
+		}
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			c.bns = append(c.bns, bn)
+		}
+	})
+	for _, ol := range c.observed {
+		ol.SetDeferObserve(true)
+	}
+	c.hasBN = len(c.bns) > 0
+	if c.hasBN {
+		c.groups = make([]*nn.BNSyncGroup, len(c.bns))
+		c.stash = make([]bnStash, len(c.bns))
+		for i, bn := range c.bns {
+			c.groups[i] = nn.NewBNSyncGroup(bn.C)
+		}
+	}
+	c.offsets, c.numel = train.ParamLayout(c.params)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Workers returns the number of currently admitted workers. Only
+// meaningful from the training goroutine.
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// acceptLoop admits TCP connections and handshakes each in its own
+// goroutine. It exits when the listener closes.
+func (c *Coordinator) acceptLoop() {
+	for id := 1; ; id++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		if c.cfg.WrapConn != nil {
+			conn = c.cfg.WrapConn(conn)
+		}
+		go c.handshake(conn, id)
+	}
+}
+
+// handshake validates a connecting worker and parks it on joinCh for
+// the training goroutine to admit. The reader and heartbeat monitor
+// start immediately so the worker sees liveness even while admission
+// waits for a safe point in the training loop.
+func (c *Coordinator) handshake(conn net.Conn, id int) {
+	fc := newFrameConn(conn, c.cfg.WriteTimeout, 10*time.Second)
+	t, p, err := fc.recv()
+	if err != nil || t != frameHello {
+		conn.Close()
+		return
+	}
+	d := &dec{b: p}
+	ver := d.u32()
+	if d.err() != nil || ver != ProtocolVersion {
+		c.logf("rejecting worker speaking protocol %d (want %d)", ver, ProtocolVersion)
+		conn.Close()
+		return
+	}
+	fc.readTimeout = 0 // liveness is the heartbeat monitor's job now
+	var e enc
+	e.u32(ProtocolVersion)
+	e.u32(uint32(id))
+	c.spec.encode(&e)
+	if fc.send(frameWelcome, e.b) != nil {
+		conn.Close()
+		return
+	}
+	w := &remote{id: id, fc: fc, outstanding: make(map[int]bool)}
+	w.lastPong.Store(time.Now().UnixNano())
+	go c.readLoop(w)
+	go c.heartbeatLoop(w)
+	select {
+	case c.joinCh <- w:
+	case <-c.done:
+		conn.Close()
+	}
+}
+
+// readLoop routes one worker's frames: pongs feed the liveness clock,
+// sync-BN requests get their own handler goroutine (they block in
+// barriers), and step results become events for the training
+// goroutine. Any framing error kills the connection.
+func (c *Coordinator) readLoop(w *remote) {
+	for {
+		t, p, err := w.fc.recv()
+		if err != nil {
+			c.workerDead(w, fmt.Sprintf("read: %v", err), false)
+			return
+		}
+		switch t {
+		case framePong:
+			w.lastPong.Store(time.Now().UnixNano())
+		case frameBNReduce:
+			cp := append([]byte(nil), p...)
+			go c.handleBN(w, cp)
+		case frameSliceResult, frameSliceAborted:
+			d := &dec{b: p}
+			ev := event{w: w, step: d.u64(), attempt: d.u32(), slice: int(d.u32())}
+			if t == frameSliceResult {
+				ev.kind = evResult
+				ev.payload = append([]byte(nil), p...)
+			} else {
+				ev.kind = evAborted
+				ev.fatal = d.u8() != 0
+				ev.reason = d.str()
+			}
+			if d.fail {
+				c.workerDead(w, "malformed result frame", false)
+				return
+			}
+			c.pushEvent(ev)
+		default:
+			c.workerDead(w, fmt.Sprintf("unexpected %s frame", t), false)
+			return
+		}
+	}
+}
+
+// heartbeatLoop pings the worker and declares it dead when pongs stop.
+func (c *Coordinator) heartbeatLoop(w *remote) {
+	tick := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if w.dead.Load() {
+				return
+			}
+			last := time.Unix(0, w.lastPong.Load())
+			if time.Since(last) > c.cfg.HeartbeatTimeout {
+				c.workerDead(w, fmt.Sprintf("heartbeat timeout (%s since last pong)",
+					time.Since(last).Round(time.Millisecond)), true)
+				return
+			}
+			var e enc
+			e.u64(uint64(time.Now().UnixNano()))
+			if err := w.fc.send(framePing, e.b); err != nil {
+				c.workerDead(w, fmt.Sprintf("ping: %v", err), false)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// workerDead marks a worker dead exactly once, closes its connection
+// (unblocking its reader), and queues the death for the training
+// goroutine's bookkeeping.
+func (c *Coordinator) workerDead(w *remote, reason string, byHeartbeat bool) {
+	if !w.dead.CompareAndSwap(false, true) {
+		return
+	}
+	w.fc.close()
+	workersLost.Inc()
+	if byHeartbeat {
+		heartbeatTimeouts.Inc()
+	}
+	c.logf("worker %d lost: %s", w.id, reason)
+	c.pushEvent(event{w: w, kind: evDead, reason: reason})
+}
+
+func (c *Coordinator) pushEvent(ev event) {
+	select {
+	case c.events <- ev:
+	case <-c.done:
+	}
+}
+
+// admit sends a full state sync to a handshaked worker and adds it to
+// the scheduling set. Only the training goroutine calls it, at points
+// where the primary's state is stable.
+func (c *Coordinator) admit(w *remote) {
+	if w.dead.Load() {
+		return
+	}
+	if err := c.sendState(w); err != nil {
+		w.fc.close() // its reader will report the death
+		return
+	}
+	c.workers[w.id] = w
+	workersJoined.Inc()
+	workersLive.Set(float64(len(c.workers)))
+	c.logf("worker %d admitted (%d live)", w.id, len(c.workers))
+}
+
+// removeWorker drops a dead worker from scheduling and requeues its
+// outstanding slices, reporting how many were reassigned.
+func (c *Coordinator) removeWorker(w *remote) int {
+	if _, ok := c.workers[w.id]; !ok {
+		return 0
+	}
+	delete(c.workers, w.id)
+	workersLive.Set(float64(len(c.workers)))
+	n := 0
+	for s := range w.outstanding {
+		c.queue = append(c.queue, s)
+		delete(w.outstanding, s)
+		n++
+	}
+	if n > 0 {
+		sliceReassignments.Add(float64(n))
+		c.logf("worker %d: %d slice(s) reassigned to survivors", w.id, n)
+	}
+	return n
+}
+
+// sendState transfers the primary's full state: the NNCKPv1 params
+// blob plus every layer's non-parameter state vector (observers,
+// BatchNorm running statistics).
+func (c *Coordinator) sendState(w *remote) error {
+	var blob bytes.Buffer
+	if err := nn.SaveParams(&blob, c.model); err != nil {
+		return err
+	}
+	state := nn.CollectState(c.model)
+	var e enc
+	e.bytes(blob.Bytes())
+	e.u32(uint32(len(state)))
+	for _, v := range state {
+		e.f32s(v)
+	}
+	stateSyncs.Inc()
+	return w.fc.send(frameState, e.b)
+}
+
+// liveSorted returns the admitted workers in ascending id order — the
+// deterministic dispatch order.
+func (c *Coordinator) liveSorted() []*remote {
+	out := make([]*remote, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// drainIdle processes queued events and joins while no step is active.
+func (c *Coordinator) drainIdle() {
+	for {
+		select {
+		case ev := <-c.events:
+			if ev.kind == evDead {
+				c.removeWorker(ev.w)
+			}
+		case w := <-c.joinCh:
+			c.admit(w)
+		default:
+			return
+		}
+	}
+}
+
+// AwaitWorkers blocks (on the training goroutine) until at least min
+// workers are admitted or the timeout expires.
+func (c *Coordinator) AwaitWorkers(min int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.drainIdle()
+		if len(c.workers) >= min {
+			return nil
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return fmt.Errorf("dist: %d of %d workers after %s", len(c.workers), min, timeout)
+		}
+		select {
+		case w := <-c.joinCh:
+			c.admit(w)
+		case ev := <-c.events:
+			if ev.kind == evDead {
+				c.removeWorker(ev.w)
+			}
+		case <-time.After(wait):
+		}
+	}
+}
+
+// Step implements train.Stepper: one distributed training step over
+// minibatch (x, y), returning the full-batch mean loss with the
+// reduced gradients left on the primary model.
+func (c *Coordinator) Step(x *tensor.Tensor, y []int) float64 {
+	n := x.Shape[0]
+	if n != len(y) {
+		panic(fmt.Sprintf("dist: %d rows, %d labels", n, len(y)))
+	}
+	c.stepID++
+	c.drainIdle()
+	c.queue = c.queue[:0]
+	for _, w := range c.workers {
+		for s := range w.outstanding { // stale assignments from a panicked step
+			delete(w.outstanding, s)
+		}
+	}
+	start := time.Now()
+	var loss float64
+	if c.hasBN {
+		loss = c.stepBN(x, y, n)
+	} else {
+		loss = c.stepSliced(x, y, n)
+	}
+	stepGatherMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	stepsTotal.Inc()
+	return loss
+}
+
+// stepSliced runs a BN-free step: the fixed 8-row slice plan feeds a
+// dynamic work queue, so which worker computes which slice — and any
+// mid-step reassignment after a death — cannot affect the result bits:
+// every slice is deterministic given the (identical) replica state,
+// and the reduction tree is fixed by the plan alone.
+func (c *Coordinator) stepSliced(x *tensor.Tensor, y []int, n int) float64 {
+	bounds := train.PlanSlices(n, c.cfg.SliceRows)
+	S := len(bounds) - 1
+	c.ensureScratch(S)
+	done := make([]bool, S)
+	got := 0
+	for s := S - 1; s >= 0; s-- { // popped from the tail → ascending dispatch
+		c.queue = append(c.queue, s)
+	}
+	c.dispatch(x, y, n, bounds, 0)
+	deadline := time.Now().Add(c.cfg.StepTimeout)
+	for got < S {
+		if len(c.workers) == 0 {
+			c.awaitAnyWorker()
+			c.dispatch(x, y, n, bounds, 0)
+			deadline = time.Now().Add(c.cfg.StepTimeout)
+			continue
+		}
+		select {
+		case ev := <-c.events:
+			switch ev.kind {
+			case evResult:
+				if ev.step != c.stepID || ev.slice < 0 || ev.slice >= S || done[ev.slice] {
+					continue // stale or duplicate
+				}
+				if !c.recordResult(ev, S) {
+					continue
+				}
+				delete(ev.w.outstanding, ev.slice)
+				done[ev.slice] = true
+				got++
+				c.assignNext(ev.w, x, y, n, bounds, 0)
+			case evAborted:
+				if ev.step != c.stepID {
+					continue
+				}
+				if ev.fatal {
+					panic(fmt.Errorf("dist: worker %d slice %d panic: %s", ev.w.id, ev.slice, ev.reason))
+				}
+				delete(ev.w.outstanding, ev.slice)
+				if !done[ev.slice] {
+					c.queue = append(c.queue, ev.slice)
+				}
+				c.dispatch(x, y, n, bounds, 0)
+			case evDead:
+				c.removeWorker(ev.w)
+				c.dispatch(x, y, n, bounds, 0)
+			}
+		case w := <-c.joinCh:
+			c.admit(w)
+			c.assignNext(w, x, y, n, bounds, 0)
+		case <-time.After(time.Until(deadline)):
+			// Laggards holding slices past the step deadline are dead
+			// as far as this run is concerned: kill their connections
+			// so the resulting death events reassign their slices.
+			for _, w := range c.liveSorted() {
+				if len(w.outstanding) > 0 {
+					c.workerDead(w, "step deadline exceeded", false)
+				}
+			}
+			deadline = time.Now().Add(c.cfg.StepTimeout)
+		}
+	}
+	return c.finishStep(S, n)
+}
+
+// awaitAnyWorker blocks until at least one worker is admitted,
+// panicking after JoinTimeout (the guarded loop turns that into a
+// counted skip, and the run resumes when a worker appears).
+func (c *Coordinator) awaitAnyWorker() {
+	c.logf("no live workers; waiting up to %s for a join", c.cfg.JoinTimeout)
+	deadline := time.Now().Add(c.cfg.JoinTimeout)
+	for len(c.workers) == 0 {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			panic(fmt.Errorf("dist: no live workers after %s", c.cfg.JoinTimeout))
+		}
+		select {
+		case w := <-c.joinCh:
+			c.admit(w)
+		case ev := <-c.events:
+			if ev.kind == evDead {
+				c.removeWorker(ev.w)
+			}
+		case <-time.After(wait):
+		}
+	}
+}
+
+// dispatch hands queued slices to every idle worker.
+func (c *Coordinator) dispatch(x *tensor.Tensor, y []int, n int, bounds []int, parts int) {
+	for _, w := range c.liveSorted() {
+		if len(w.outstanding) == 0 {
+			c.assignNext(w, x, y, n, bounds, parts)
+		}
+	}
+}
+
+// assignNext pops one slice off the queue and sends it to w. With
+// parts > 0 the slice participates in sync-BN as participant
+// slice-index of parts.
+func (c *Coordinator) assignNext(w *remote, x *tensor.Tensor, y []int, n int, bounds []int, parts int) {
+	if len(c.queue) == 0 || w.dead.Load() {
+		return
+	}
+	s := c.queue[len(c.queue)-1]
+	c.queue = c.queue[:len(c.queue)-1]
+	w.outstanding[s] = true
+	if err := c.sendSlice(w, s, x, y, n, bounds, parts); err != nil {
+		// The death event will requeue it from w.outstanding.
+		c.workerDead(w, fmt.Sprintf("send slice: %v", err), false)
+	}
+}
+
+// sendSlice ships slice s (rows bounds[s]..bounds[s+1]) with its
+// labels and input rows.
+func (c *Coordinator) sendSlice(w *remote, s int, x *tensor.Tensor, y []int, n int, bounds []int, parts int) error {
+	lo, hi := bounds[s], bounds[s+1]
+	chw := x.Numel() / n
+	var e enc
+	e.u64(c.stepID)
+	e.u32(c.curAttempt())
+	e.u32(uint32(s))
+	e.u32(uint32(n))
+	e.u32(uint32(s)) // BN participant index == slice index
+	e.u32(uint32(parts))
+	e.u32(uint32(hi - lo))
+	for _, lbl := range y[lo:hi] {
+		e.u32(uint32(lbl))
+	}
+	e.f32s(x.Data[lo*chw : hi*chw])
+	return w.fc.send(frameSlice, e.b)
+}
+
+func (c *Coordinator) curAttempt() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempt
+}
+
+// recordResult decodes a SliceResult payload into the per-slice
+// scratch. A malformed payload is a protocol violation: the worker
+// dies and the slice is reassigned via its death event.
+func (c *Coordinator) recordResult(ev event, S int) bool {
+	d := &dec{b: ev.payload}
+	d.u64() // step, already checked
+	d.u32() // attempt, already checked by caller where relevant
+	slice := int(d.u32())
+	loss := d.f64()
+	nObs := int(d.u32())
+	if nObs != len(c.observed) {
+		c.workerDead(ev.w, fmt.Sprintf("result carries %d observers, model has %d", nObs, len(c.observed)), false)
+		return false
+	}
+	for i := 0; i < nObs; i++ {
+		c.rngMin[slice*nObs+i] = d.f32()
+		c.rngMax[slice*nObs+i] = d.f32()
+		c.rngOK[slice*nObs+i] = d.u8() != 0
+	}
+	if !d.f32sInto(c.sliceGrads[slice]) || d.err() != nil {
+		c.workerDead(ev.w, "malformed slice result", false)
+		return false
+	}
+	c.sliceLoss[slice] = loss
+	return true
+}
+
+// finishStep folds the gathered slices exactly as ShardedStep does:
+// stride-doubling tree into the primary's gradients, ascending-order
+// loss sum, exact min/max observer merge folded into the primary and
+// broadcast to the workers.
+func (c *Coordinator) finishStep(S, n int) float64 {
+	train.FoldSliceTree(c.sliceGrads[:S])
+	buf := c.sliceGrads[0]
+	for pi, p := range c.params {
+		copy(p.Grad.Data, buf[c.offsets[pi]:c.offsets[pi]+p.Grad.Numel()])
+	}
+	var lossSum float64
+	for s := 0; s < S; s++ {
+		lossSum += c.sliceLoss[s]
+	}
+	nObs := len(c.observed)
+	for i := 0; i < nObs; i++ {
+		c.obsHave[i] = false
+	}
+	train.MergeSliceRanges(S, nObs, c.rngMin, c.rngMax, c.rngOK, func(i int, mn, mx float32) {
+		c.observed[i].ActivationObserver().ObserveRange(mn, mx)
+		c.obsMn[i], c.obsMx[i], c.obsHave[i] = mn, mx, true
+	})
+	var e enc
+	e.u64(c.stepID)
+	e.u32(uint32(nObs))
+	for i := 0; i < nObs; i++ {
+		e.f32(c.obsMn[i])
+		e.f32(c.obsMx[i])
+		if c.obsHave[i] {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+	for _, w := range c.liveSorted() {
+		if err := w.fc.send(frameObserve, e.b); err != nil {
+			c.workerDead(w, fmt.Sprintf("send observe: %v", err), false)
+		}
+	}
+	return lossSum / float64(n)
+}
+
+// stepBN runs a sync-BN step. Participants are fixed for the attempt
+// (a barrier needs an exact participant set), so a death mid-attempt
+// aborts every BN group — unwinding all survivors — and the whole step
+// retries with the surviving fleet. The primary's BN running
+// statistics come from the stash of folded moments, applied only on
+// commit, so aborted attempts leave the primary untouched.
+func (c *Coordinator) stepBN(x *tensor.Tensor, y []int, n int) float64 {
+	for {
+		if len(c.workers) == 0 {
+			c.awaitAnyWorker()
+		}
+		live := c.liveSorted()
+		bounds := train.PlanEvenSlices(n, len(live))
+		S := len(bounds) - 1
+		c.ensureScratch(S)
+		c.mu.Lock()
+		c.attempt++
+		att := c.attempt
+		for c.bnActive > 0 { // stragglers from the previous attempt
+			c.bnCond.Wait()
+		}
+		for gi := range c.groups {
+			c.groups[gi].Configure(S)
+			c.stash[gi].haveSum = false
+			c.stash[gi].haveSq = false
+		}
+		c.mu.Unlock()
+
+		ok, fatal := c.gatherBN(att, S, bounds, x, y, n, live)
+		if fatal != nil {
+			c.abortAttempt()
+			panic(fatal)
+		}
+		if ok {
+			c.applyBNStash()
+			return c.finishStep(S, n)
+		}
+		c.abortAttempt()
+		stepRetries.Inc()
+		c.logf("sync-BN step %d attempt %d aborted; retrying with %d workers", c.stepID, att, len(c.workers))
+	}
+}
+
+// abortAttempt invalidates the current attempt tag and poisons every
+// BN barrier so blocked participants unwind instead of waiting for a
+// dead sibling.
+func (c *Coordinator) abortAttempt() {
+	c.mu.Lock()
+	c.attempt++
+	c.mu.Unlock()
+	for _, g := range c.groups {
+		g.Abort()
+	}
+}
+
+// gatherBN assigns slice s to live[s] and waits for all S results of
+// this attempt. It reports failure on any death or abort (the step
+// retries) and surfaces worker panics as fatal.
+func (c *Coordinator) gatherBN(att uint32, S int, bounds []int, x *tensor.Tensor, y []int, n int, live []*remote) (bool, error) {
+	c.queue = c.queue[:0]
+	done := make([]bool, S)
+	got := 0
+	for s := 0; s < S; s++ {
+		w := live[s]
+		w.outstanding[s] = true
+		if err := c.sendSlice(w, s, x, y, n, bounds, S); err != nil {
+			c.workerDead(w, fmt.Sprintf("send slice: %v", err), false)
+			return false, nil
+		}
+	}
+	deadline := time.Now().Add(c.cfg.StepTimeout)
+	for got < S {
+		select {
+		case ev := <-c.events:
+			switch ev.kind {
+			case evResult:
+				if ev.step != c.stepID || ev.attempt != att || ev.slice < 0 || ev.slice >= S || done[ev.slice] {
+					continue
+				}
+				if !c.recordResult(ev, S) {
+					return false, nil
+				}
+				delete(ev.w.outstanding, ev.slice)
+				done[ev.slice] = true
+				got++
+			case evAborted:
+				if ev.step != c.stepID || ev.attempt != att {
+					continue
+				}
+				delete(ev.w.outstanding, ev.slice)
+				if ev.fatal {
+					return false, fmt.Errorf("dist: worker %d slice %d panic: %s", ev.w.id, ev.slice, ev.reason)
+				}
+				return false, nil
+			case evDead:
+				if c.removeWorker(ev.w) > 0 {
+					return false, nil
+				}
+				// A death with no outstanding slices (e.g. an idle
+				// extra worker) does not invalidate the attempt.
+			}
+		case w := <-c.joinCh:
+			// Admission mid-attempt is safe (the primary is stable);
+			// the newcomer participates from the next attempt or step.
+			c.admit(w)
+		case <-time.After(time.Until(deadline)):
+			for _, w := range c.liveSorted() {
+				if len(w.outstanding) > 0 {
+					c.workerDead(w, "step deadline exceeded", false)
+				}
+			}
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// handleBN serves one sync-BN reduction request on its own goroutine
+// (it blocks in the group barrier on behalf of the remote
+// participant). Stale requests — a previous attempt's stragglers — are
+// answered with an abort so the worker unwinds.
+func (c *Coordinator) handleBN(w *remote, payload []byte) {
+	d := &dec{b: payload}
+	att := d.u32()
+	group := int(d.u32())
+	phase := d.u8()
+	part := int(d.u32())
+	cnt := int(d.u32())
+	v1 := d.f64s()
+	var v2 []float64
+	if phase == 3 {
+		v2 = d.f64s()
+	}
+	if d.err() != nil || group < 0 || group >= len(c.groups) || phase < 1 || phase > 3 {
+		c.workerDead(w, "malformed BN frame", false)
+		return
+	}
+	c.mu.Lock()
+	if c.closed || att != c.attempt {
+		c.mu.Unlock()
+		c.sendBNAbort(w, att, group, phase)
+		return
+	}
+	c.bnActive++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.bnActive--
+		c.bnCond.Broadcast()
+		c.mu.Unlock()
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			// The barrier was poisoned (attempt aborted) or the request
+			// was inconsistent; either way the worker must unwind.
+			c.sendBNAbort(w, att, group, phase)
+		}
+	}()
+	g := c.groups[group]
+	start := time.Now()
+	var e enc
+	e.u32(att)
+	e.u32(uint32(group))
+	e.u8(phase)
+	switch phase {
+	case 1:
+		out, total := g.ReduceMoments(part, v1, cnt)
+		c.stashMoments(group, att, out, total)
+		e.u32(uint32(total))
+		e.f64s(out)
+	case 2:
+		out := g.ReduceSquares(part, v1)
+		c.stashSquares(group, att, out)
+		e.f64s(out)
+	case 3:
+		gdy, gdyx := g.ReduceGrads(part, v1, v2)
+		e.f64s(gdy)
+		e.f64s(gdyx)
+	}
+	bnReduceMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if err := w.fc.send(frameBNResult, e.b); err != nil {
+		c.workerDead(w, fmt.Sprintf("send BN result: %v", err), false)
+	}
+}
+
+func (c *Coordinator) sendBNAbort(w *remote, att uint32, group int, phase uint8) {
+	var e enc
+	e.u32(att)
+	e.u32(uint32(group))
+	e.u8(phase)
+	w.fc.send(frameBNAbort, e.b) // best effort; conn may be gone
+}
+
+// stashMoments records one group's folded phase-1 moments (every
+// participant's fold is identical, so the first one wins).
+func (c *Coordinator) stashMoments(group int, att uint32, sum []float64, cnt int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if att != c.attempt || c.stash[group].haveSum {
+		return
+	}
+	c.stash[group].sum = append(c.stash[group].sum[:0], sum...)
+	c.stash[group].cnt = cnt
+	c.stash[group].haveSum = true
+}
+
+func (c *Coordinator) stashSquares(group int, att uint32, sq []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if att != c.attempt || c.stash[group].haveSq {
+		return
+	}
+	c.stash[group].sq = append(c.stash[group].sq[:0], sq...)
+	c.stash[group].haveSq = true
+}
+
+// applyBNStash commits the folded moments to the primary's BatchNorm
+// running statistics with arithmetic identical to the workers'
+// forwardSync update, so the primary's state matches what an
+// in-process replica would hold.
+func (c *Coordinator) applyBNStash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for gi, bn := range c.bns {
+		st := &c.stash[gi]
+		if !st.haveSum || !st.haveSq {
+			panic(fmt.Sprintf("dist: sync-BN stash incomplete for group %d", gi))
+		}
+		cnt := float64(st.cnt)
+		m := bn.Momentum
+		for ch := 0; ch < bn.C; ch++ {
+			mean := st.sum[ch] / cnt
+			vr := st.sq[ch] / cnt
+			bn.RunningMean.Data[ch] = float32((1-m)*float64(bn.RunningMean.Data[ch]) + m*mean)
+			bn.RunningVar.Data[ch] = float32((1-m)*float64(bn.RunningVar.Data[ch]) + m*vr)
+		}
+	}
+}
+
+// Broadcast implements train.Stepper: pushes the primary's
+// post-optimizer parameter values to every worker.
+func (c *Coordinator) Broadcast() {
+	c.drainIdle()
+	if cap(c.paramBuf) < c.numel {
+		c.paramBuf = make([]float32, c.numel)
+	}
+	buf := c.paramBuf[:c.numel]
+	for pi, p := range c.params {
+		copy(buf[c.offsets[pi]:], p.Value.Data)
+	}
+	var e enc
+	e.u64(c.stepID)
+	e.f32s(buf)
+	for _, w := range c.liveSorted() {
+		if err := w.fc.send(frameParams, e.b); err != nil {
+			c.workerDead(w, fmt.Sprintf("send params: %v", err), false)
+		}
+	}
+}
+
+// SyncReplicas implements train.Stepper: full state re-sync after a
+// rollback or checkpoint resume.
+func (c *Coordinator) SyncReplicas() {
+	c.drainIdle()
+	for _, w := range c.liveSorted() {
+		if err := c.sendState(w); err != nil {
+			c.workerDead(w, fmt.Sprintf("send state: %v", err), false)
+		}
+	}
+}
+
+// Close dismisses the workers (Bye), stops the listener and monitors,
+// and returns the primary model to single-process semantics. Safe to
+// call once training is done; idempotent.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, w := range c.liveSorted() {
+		w.fc.send(frameBye, nil)
+		w.fc.close()
+	}
+	c.ln.Close()
+	close(c.done)
+	for _, ol := range c.observed {
+		ol.SetDeferObserve(false)
+	}
+	workersLive.Set(0)
+}
+
+// ensureScratch sizes the per-slice buffers for S slices.
+func (c *Coordinator) ensureScratch(S int) {
+	for len(c.sliceGrads) < S {
+		c.sliceGrads = append(c.sliceGrads, make([]float32, c.numel))
+	}
+	if cap(c.sliceLoss) < S {
+		c.sliceLoss = make([]float64, S)
+	}
+	c.sliceLoss = c.sliceLoss[:S]
+	nObs := len(c.observed)
+	nRng := S * nObs
+	if cap(c.rngMin) < nRng {
+		c.rngMin = make([]float32, nRng)
+		c.rngMax = make([]float32, nRng)
+		c.rngOK = make([]bool, nRng)
+	}
+	c.rngMin = c.rngMin[:nRng]
+	c.rngMax = c.rngMax[:nRng]
+	c.rngOK = c.rngOK[:nRng]
+	if cap(c.obsMn) < nObs {
+		c.obsMn = make([]float32, nObs)
+		c.obsMx = make([]float32, nObs)
+		c.obsHave = make([]bool, nObs)
+	}
+	c.obsMn = c.obsMn[:nObs]
+	c.obsMx = c.obsMx[:nObs]
+	c.obsHave = c.obsHave[:nObs]
+}

@@ -1,0 +1,582 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/appmult/retrain/internal/nn"
+	"github.com/appmult/retrain/internal/tensor"
+	"github.com/appmult/retrain/internal/train"
+)
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's TCP address.
+	Coordinator string
+	// Dial is the backoff policy for failed dials and reconnects.
+	Dial Backoff
+	// MaxDialAttempts gives up after this many consecutive dial
+	// failures; 0 retries forever (a crashed coordinator restarting
+	// from a checkpoint picks the worker back up).
+	MaxDialAttempts int
+	// DialTimeout bounds one dial (default 3s).
+	DialTimeout time.Duration
+	// HeartbeatTimeout is the read-idle limit: the coordinator pings
+	// well inside it, so a read stalled this long means the connection
+	// is dead (default 15s).
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	// Seed randomizes backoff jitter.
+	Seed int64
+	// Logf, when non-nil, receives progress and failure lines.
+	Logf func(format string, args ...any)
+	// WrapConn, when non-nil, wraps every dialed connection; tests use
+	// it to interpose fault injectors.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 15 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+func (c WorkerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// RunWorker joins the coordinator and computes gradient slices until
+// dismissed (Bye → nil return), the context is cancelled, or the dial
+// budget is exhausted. Connection loss at any other point — including
+// mid-step — re-enters the dial loop with exponential backoff; the
+// coordinator re-syncs full state on readmission, so a reconnect is
+// always safe.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := net.DialTimeout("tcp", cfg.Coordinator, cfg.DialTimeout)
+		if err != nil {
+			fails++
+			dialRetries.Inc()
+			if cfg.MaxDialAttempts > 0 && fails >= cfg.MaxDialAttempts {
+				return fmt.Errorf("dist: dialing %s: %d attempts, last: %w", cfg.Coordinator, fails, err)
+			}
+			cfg.logf("dial %s failed (attempt %d): %v", cfg.Coordinator, fails, err)
+			if !cfg.Dial.Sleep(ctx, fails-1, rng) {
+				return ctx.Err()
+			}
+			continue
+		}
+		fails = 0
+		if cfg.WrapConn != nil {
+			conn = cfg.WrapConn(conn)
+		}
+		done, err := serveWorker(ctx, conn, cfg)
+		if done {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		workerReconnects.Inc()
+		cfg.logf("session ended: %v; reconnecting", err)
+		if !cfg.Dial.Sleep(ctx, 0, rng) {
+			return ctx.Err()
+		}
+	}
+}
+
+// wframe is one routed frame (or the reader's terminal error).
+type wframe struct {
+	t   frameType
+	p   []byte
+	err error
+}
+
+// workerSession is one connection's state: the replica model rebuilt
+// from the coordinator's spec plus the frame routing channels.
+type workerSession struct {
+	cfg WorkerConfig
+	fc  *frameConn
+	id  int
+
+	model    *nn.Sequential
+	params   []*nn.Param
+	observed []nn.ObservedLayer
+	bns      []*nn.BatchNorm2D
+	proxies  []*bnProxy
+	offsets  []int
+	numel    int
+	hw       int
+
+	stateReady bool
+	attempt    uint32
+
+	workCh     chan wframe
+	bnCh       chan wframe
+	readerDead chan struct{}
+	stop       chan struct{}
+
+	x       *tensor.Tensor
+	dy      *tensor.Tensor
+	labels  []int
+	gradBuf []float32
+}
+
+// serveWorker runs one connection's lifetime. done=true means the
+// coordinator dismissed us (run finished).
+func serveWorker(ctx context.Context, conn net.Conn, cfg WorkerConfig) (done bool, err error) {
+	fc := newFrameConn(conn, cfg.WriteTimeout, cfg.HeartbeatTimeout)
+	defer fc.close()
+	var e enc
+	e.u32(ProtocolVersion)
+	if err := fc.send(frameHello, e.b); err != nil {
+		return false, err
+	}
+	t, p, err := fc.recv()
+	if err != nil {
+		return false, err
+	}
+	if t != frameWelcome {
+		return false, fmt.Errorf("dist: expected welcome, got %s", t)
+	}
+	d := &dec{b: p}
+	if ver := d.u32(); ver != ProtocolVersion {
+		return false, fmt.Errorf("dist: coordinator speaks protocol %d, want %d", ver, ProtocolVersion)
+	}
+	id := int(d.u32())
+	spec := decodeSpec(d)
+	if err := d.err(); err != nil {
+		return false, err
+	}
+	s := &workerSession{
+		cfg:        cfg,
+		fc:         fc,
+		id:         id,
+		workCh:     make(chan wframe, 128),
+		bnCh:       make(chan wframe, 8),
+		readerDead: make(chan struct{}),
+		stop:       make(chan struct{}),
+	}
+	defer close(s.stop)
+	if err := s.buildModel(spec); err != nil {
+		return false, err
+	}
+	cfg.logf("worker %d: joined %s (model %s, %d params)", id, cfg.Coordinator, spec.Model, s.numel)
+
+	// The context watcher closes the connection so a cancelled worker
+	// unblocks even mid-read or mid-barrier.
+	go func() {
+		select {
+		case <-ctx.Done():
+			fc.close()
+		case <-s.stop:
+		}
+	}()
+	go s.readLoop()
+
+	for {
+		var f wframe
+		select {
+		case f = <-s.workCh:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+		if f.err != nil {
+			return false, f.err
+		}
+		switch f.t {
+		case frameState:
+			if err := s.applyState(f.p); err != nil {
+				return false, err
+			}
+		case frameSlice:
+			if !s.stateReady {
+				return false, fmt.Errorf("dist: slice before state sync")
+			}
+			if err := s.handleSlice(f.p); err != nil {
+				return false, err
+			}
+		case frameObserve:
+			if err := s.applyObserve(f.p); err != nil {
+				return false, err
+			}
+		case frameParams:
+			if err := s.applyParams(f.p); err != nil {
+				return false, err
+			}
+		case frameBye:
+			s.cfg.logf("worker %d: dismissed", s.id)
+			return true, nil
+		case frameBNResult, frameBNAbort:
+			// Stale reply from an aborted reduction; drop.
+		default:
+			return false, fmt.Errorf("dist: unexpected %s frame", f.t)
+		}
+	}
+}
+
+// buildModel reconstructs the replica from the spec and wires the
+// deferred observers and sync-BN proxies.
+func (s *workerSession) buildModel(spec Spec) error {
+	m, sc, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	s.model = m
+	s.params = m.Params()
+	s.hw = sc.HW
+	nn.VisitLayers(m, func(l nn.Layer) {
+		if ol, ok := l.(nn.ObservedLayer); ok {
+			s.observed = append(s.observed, ol)
+		}
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			s.bns = append(s.bns, bn)
+		}
+	})
+	for _, ol := range s.observed {
+		ol.SetDeferObserve(true)
+	}
+	s.proxies = make([]*bnProxy, len(s.bns))
+	for i, bn := range s.bns {
+		s.proxies[i] = &bnProxy{s: s, group: i, c: bn.C}
+	}
+	s.offsets, s.numel = train.ParamLayout(s.params)
+	s.gradBuf = make([]float32, s.numel)
+	s.x = tensor.New(1)
+	s.dy = tensor.New(1)
+	return nil
+}
+
+// readLoop routes inbound frames: pings are answered inline (liveness
+// must not wait for compute), BN replies go to the blocked reduction,
+// everything else to the main loop. On error it wakes both consumers.
+func (s *workerSession) readLoop() {
+	for {
+		t, p, err := s.fc.recv()
+		if err != nil {
+			close(s.readerDead)
+			select {
+			case s.workCh <- wframe{err: err}:
+			case <-s.stop:
+			}
+			return
+		}
+		switch t {
+		case framePing:
+			cp := append([]byte(nil), p...)
+			if err := s.fc.send(framePong, cp); err != nil {
+				close(s.readerDead)
+				select {
+				case s.workCh <- wframe{err: err}:
+				case <-s.stop:
+				}
+				return
+			}
+		case frameBNResult, frameBNAbort:
+			select {
+			case s.bnCh <- wframe{t: t, p: append([]byte(nil), p...)}:
+			case <-s.stop:
+				return
+			}
+		default:
+			select {
+			case s.workCh <- wframe{t: t, p: append([]byte(nil), p...)}:
+			case <-s.stop:
+				return
+			}
+		}
+	}
+}
+
+// applyState loads the primary's full state: params blob plus layer
+// state vectors.
+func (s *workerSession) applyState(p []byte) error {
+	d := &dec{b: p}
+	blob := d.bytes()
+	nStates := int(d.u32())
+	vecs := make([][]float32, 0, nStates)
+	for i := 0; i < nStates && !d.fail; i++ {
+		vecs = append(vecs, d.f32s())
+	}
+	if err := d.err(); err != nil {
+		return err
+	}
+	if err := nn.LoadParams(bytes.NewReader(blob), s.model); err != nil {
+		return fmt.Errorf("dist: state params: %w", err)
+	}
+	if err := nn.RestoreState(s.model, vecs); err != nil {
+		return fmt.Errorf("dist: state vectors: %w", err)
+	}
+	s.stateReady = true
+	return nil
+}
+
+// applyObserve folds the coordinator's merged observer ranges, exactly
+// as an in-process replica folds them in mergeObservers.
+func (s *workerSession) applyObserve(p []byte) error {
+	d := &dec{b: p}
+	d.u64() // step
+	nObs := int(d.u32())
+	if nObs != len(s.observed) {
+		return fmt.Errorf("dist: observe carries %d observers, model has %d", nObs, len(s.observed))
+	}
+	for i := 0; i < nObs; i++ {
+		mn := d.f32()
+		mx := d.f32()
+		have := d.u8() != 0
+		if d.fail {
+			break
+		}
+		if have {
+			s.observed[i].ActivationObserver().ObserveRange(mn, mx)
+		}
+	}
+	return d.err()
+}
+
+// applyParams overwrites parameter values with the primary's
+// post-optimizer state.
+func (s *workerSession) applyParams(p []byte) error {
+	d := &dec{b: p}
+	d.u64() // step
+	if !d.f32sInto(s.gradBuf) {
+		return fmt.Errorf("dist: params frame length mismatch")
+	}
+	if err := d.err(); err != nil {
+		return err
+	}
+	for pi, prm := range s.params {
+		copy(prm.Value.Data, s.gradBuf[s.offsets[pi]:s.offsets[pi]+prm.Value.Numel()])
+	}
+	return nil
+}
+
+// handleSlice computes one gradient slice and reports the result. A
+// sync-BN abort unwinds as a non-fatal SliceAborted (the coordinator
+// retries the step); any other panic is reported fatal and surfaces as
+// a skipped step on the coordinator.
+func (s *workerSession) handleSlice(p []byte) error {
+	d := &dec{b: p}
+	step := d.u64()
+	att := d.u32()
+	slice := d.u32()
+	batchN := int(d.u32())
+	partIdx := int(d.u32())
+	parts := int(d.u32())
+	rows := int(d.u32())
+	if d.fail || rows < 1 || batchN < rows {
+		return fmt.Errorf("dist: malformed slice header")
+	}
+	if cap(s.labels) < rows {
+		s.labels = make([]int, rows)
+	}
+	s.labels = s.labels[:rows]
+	for i := range s.labels {
+		s.labels[i] = int(d.u32())
+	}
+	s.x = tensor.Ensure(s.x, rows, 3, s.hw, s.hw)
+	if !d.f32sInto(s.x.Data) {
+		return fmt.Errorf("dist: slice input length mismatch")
+	}
+	if err := d.err(); err != nil {
+		return err
+	}
+
+	s.attempt = att
+	for i, bn := range s.bns {
+		if parts > 0 {
+			bn.SetSyncGroup(s.proxies[i], partIdx)
+		} else {
+			bn.SetSyncGroup(nil, 0)
+		}
+	}
+	// Drop replies from a previous, aborted reduction.
+	for {
+		select {
+		case <-s.bnCh:
+			continue
+		default:
+		}
+		break
+	}
+
+	loss, abortReason, fatal := s.computeSlice(batchN)
+	if abortReason != "" {
+		var e enc
+		e.u64(step)
+		e.u32(att)
+		e.u32(slice)
+		if fatal {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.str(abortReason)
+		return s.fc.send(frameSliceAborted, e.b)
+	}
+	var e enc
+	e.u64(step)
+	e.u32(att)
+	e.u32(slice)
+	e.f64(loss)
+	e.u32(uint32(len(s.observed)))
+	for _, ol := range s.observed {
+		mn, mx, ok := ol.DeferredRange()
+		e.f32(mn)
+		e.f32(mx)
+		if ok {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+	e.f32s(s.gradBuf)
+	workerSlices.Inc()
+	return s.fc.send(frameSliceResult, e.b)
+}
+
+// computeSlice runs forward/backward over the staged input, packing
+// gradients into gradBuf. Panics are contained here: ErrSyncAborted is
+// the cooperative unwind of an aborted sync-BN attempt; anything else
+// is a genuine model failure.
+func (s *workerSession) computeSlice(batchN int) (loss float64, abortReason string, fatal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == nn.ErrSyncAborted {
+				abortReason = "sync aborted"
+				fatal = false
+			} else {
+				abortReason = fmt.Sprint(r)
+				fatal = true
+			}
+		}
+	}()
+	for _, prm := range s.params {
+		for i := range prm.Grad.Data {
+			prm.Grad.Data[i] = 0
+		}
+	}
+	out := s.model.Forward(s.x, true)
+	s.dy = tensor.Ensure(s.dy, out.Shape...)
+	loss = nn.SoftmaxCrossEntropySumInto(s.dy, out, s.labels, batchN)
+	s.model.Backward(s.dy)
+	for pi, prm := range s.params {
+		copy(s.gradBuf[s.offsets[pi]:], prm.Grad.Data)
+	}
+	return loss, "", false
+}
+
+// bnProxy implements nn.BNSyncer for a worker's BatchNorm layers by
+// round-tripping each reduction through the coordinator, which hosts
+// the actual BNSyncGroup barrier on the workers' behalf. An abort (or
+// any connection failure) panics ErrSyncAborted, exactly like the
+// in-process group, so BatchNorm's sync path needs no network
+// awareness.
+type bnProxy struct {
+	s     *workerSession
+	group int
+	c     int
+}
+
+// Channels implements nn.BNSyncer.
+func (p *bnProxy) Channels() int { return p.c }
+
+// ReduceMoments implements nn.BNSyncer.
+func (p *bnProxy) ReduceMoments(idx int, sum []float64, cnt int) ([]float64, int) {
+	var e enc
+	e.u32(p.s.attempt)
+	e.u32(uint32(p.group))
+	e.u8(1)
+	e.u32(uint32(idx))
+	e.u32(uint32(cnt))
+	e.f64s(sum)
+	d := p.roundTrip(1, e.b)
+	total := int(d.u32())
+	out := d.f64s()
+	if err := d.err(); err != nil {
+		panic(err)
+	}
+	return out, total
+}
+
+// ReduceSquares implements nn.BNSyncer.
+func (p *bnProxy) ReduceSquares(idx int, sq []float64) []float64 {
+	var e enc
+	e.u32(p.s.attempt)
+	e.u32(uint32(p.group))
+	e.u8(2)
+	e.u32(uint32(idx))
+	e.u32(0)
+	e.f64s(sq)
+	d := p.roundTrip(2, e.b)
+	out := d.f64s()
+	if err := d.err(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ReduceGrads implements nn.BNSyncer.
+func (p *bnProxy) ReduceGrads(idx int, dy, dyx []float64) ([]float64, []float64) {
+	var e enc
+	e.u32(p.s.attempt)
+	e.u32(uint32(p.group))
+	e.u8(3)
+	e.u32(uint32(idx))
+	e.u32(0)
+	e.f64s(dy)
+	e.f64s(dyx)
+	d := p.roundTrip(3, e.b)
+	gdy := d.f64s()
+	gdyx := d.f64s()
+	if err := d.err(); err != nil {
+		panic(err)
+	}
+	return gdy, gdyx
+}
+
+// roundTrip sends one BNReduce request and waits for its matching
+// reply, panicking ErrSyncAborted on abort or connection loss.
+func (p *bnProxy) roundTrip(phase uint8, payload []byte) *dec {
+	if err := p.s.fc.send(frameBNReduce, payload); err != nil {
+		panic(nn.ErrSyncAborted)
+	}
+	for {
+		select {
+		case r := <-p.s.bnCh:
+			d := &dec{b: r.p}
+			ratt := d.u32()
+			rgroup := int(d.u32())
+			rphase := d.u8()
+			if d.fail || ratt != p.s.attempt || rgroup != p.group || rphase != phase {
+				continue // stale reply from an aborted attempt
+			}
+			if r.t == frameBNAbort {
+				panic(nn.ErrSyncAborted)
+			}
+			return d
+		case <-p.s.readerDead:
+			panic(nn.ErrSyncAborted)
+		}
+	}
+}

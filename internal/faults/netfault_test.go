@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faulty client side and a function reading what
+// actually crossed the wire within a short window.
+func pipePair(t *testing.T, m NetFaultModel) (*FaultyConn, func() []byte) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	fc := m.Wrap(a)
+	read := func() []byte {
+		var got []byte
+		buf := make([]byte, 256)
+		for {
+			b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+			n, err := b.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				return got
+			}
+		}
+	}
+	return fc, read
+}
+
+func TestNetFaultDropClaimsSuccess(t *testing.T) {
+	fc, read := pipePair(t, NetFaultModel{DropRate: 1, Seed: 1})
+	n, err := fc.Write([]byte("hello frame"))
+	if err != nil || n != 11 {
+		t.Fatalf("dropped write returned (%d, %v), want (11, nil)", n, err)
+	}
+	if got := read(); len(got) != 0 {
+		t.Fatalf("dropped frame reached the wire: %q", got)
+	}
+	if d, _, _, _ := fc.Injected(); d != 1 {
+		t.Fatalf("dropped count %d, want 1", d)
+	}
+}
+
+func TestNetFaultCorruptFlipsOneBit(t *testing.T) {
+	fc, read := pipePair(t, NetFaultModel{CorruptRate: 1, Seed: 2})
+	msg := []byte("deterministic frame payload")
+	done := make(chan []byte, 1)
+	go func() { done <- read() }()
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if len(got) != len(msg) {
+		t.Fatalf("corrupted frame length %d, want %d", len(got), len(msg))
+	}
+	diffBits := 0
+	for i := range msg {
+		x := msg[i] ^ got[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diffBits)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corrupted frame equals original")
+	}
+}
+
+func TestNetFaultTruncateSendsPrefix(t *testing.T) {
+	fc, read := pipePair(t, NetFaultModel{TruncateRate: 1, Seed: 3})
+	msg := []byte("frame that will be cut short")
+	done := make(chan []byte, 1)
+	go func() { done <- read() }()
+	n, err := fc.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("truncated write returned (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	got := <-done
+	if len(got) >= len(msg) || len(got) < 1 {
+		t.Fatalf("truncated frame carried %d bytes, want 1..%d", len(got), len(msg)-1)
+	}
+	if !bytes.Equal(got, msg[:len(got)]) {
+		t.Fatal("truncated frame is not a prefix of the original")
+	}
+}
+
+func TestNetFaultSeededReproducibility(t *testing.T) {
+	m := NetFaultModel{DropRate: 0.3, CorruptRate: 0.2, TruncateRate: 0.1, Seed: 7}
+	runs := make([][4]int, 2)
+	for r := range runs {
+		fc, read := pipePair(t, m)
+		go read()
+		for i := 0; i < 50; i++ {
+			fc.Write([]byte("0123456789abcdef"))
+		}
+		d, tr, c, dl := fc.Injected()
+		runs[r] = [4]int{d, tr, c, dl}
+		if d+tr+c == 0 {
+			t.Fatal("no faults injected in 50 writes at 60% combined rate")
+		}
+	}
+	if runs[0] != runs[1] {
+		t.Fatalf("same seed, different fault sequences: %v vs %v", runs[0], runs[1])
+	}
+}

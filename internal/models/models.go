@@ -260,3 +260,35 @@ func ResNet(depth int, cfg Config) *nn.Sequential {
 	m.Add(nn.NewLinear("classifier", inC, cfg.Classes, rng))
 	return m
 }
+
+// ByKind constructs one of the evaluation architectures by its
+// canonical name (see Kinds). It is the single authority on the
+// name-to-builder mapping, shared by the experiment driver and the
+// distributed job spec so a coordinator and its workers can never
+// disagree on what a kind means.
+func ByKind(kind string, cfg Config) (*nn.Sequential, error) {
+	switch kind {
+	case "lenet":
+		return LeNet(cfg), nil
+	case "vgg11":
+		return VGG(11, cfg), nil
+	case "vgg16":
+		return VGG(16, cfg), nil
+	case "vgg19":
+		return VGG(19, cfg), nil
+	case "resnet18":
+		return ResNet(18, cfg), nil
+	case "resnet34":
+		return ResNet(34, cfg), nil
+	case "resnet50":
+		return ResNet(50, cfg), nil
+	default:
+		return nil, fmt.Errorf("models: unknown model kind %q (know %v)", kind, Kinds())
+	}
+}
+
+// Kinds lists the canonical model-kind names ByKind accepts, in the
+// order the paper's evaluation introduces them.
+func Kinds() []string {
+	return []string{"lenet", "vgg11", "vgg16", "vgg19", "resnet18", "resnet34", "resnet50"}
+}

@@ -25,24 +25,28 @@ type BatchNorm2D struct {
 	invStd  []float64
 	inShape []int
 
-	// Sync-BN hookup (see BNSyncGroup): when sync is non-nil, training
+	// Sync-BN hookup (see BNSyncer): when sync is non-nil, training
 	// forwards compute full-batch statistics by all-reducing moments
-	// across the group's participants, and Backward all-reduces the
+	// across the syncer's participants, and Backward all-reduces the
 	// gradient sums the same way.
-	sync       *BNSyncGroup
+	sync       BNSyncer
 	syncIdx    int
 	syncActive bool
 	syncCnt    float64
 	meanBuf    []float64
+	sumBuf     []float64 // local publish buffer (c wide)
+	dyBuf      []float64 // local backward dy sums (c wide)
+	dyxBuf     []float64 // local backward dy*xhat sums (c wide)
 }
 
-// SetSyncGroup attaches the layer to a cross-shard sync group as
+// SetSyncGroup attaches the layer to a cross-shard moment syncer as
 // participant idx (nil detaches, restoring single-replica behaviour).
 // All replicas of a sharded model attach their position-matched
-// BatchNorm2D layers to one shared group.
-func (b *BatchNorm2D) SetSyncGroup(g *BNSyncGroup, idx int) {
-	if g != nil && g.c != b.C {
-		panic(fmt.Sprintf("nn: %s has %d channels, sync group %d", b.name, b.C, g.c))
+// BatchNorm2D layers to one shared syncer — an in-process BNSyncGroup,
+// or a network proxy forwarding to a coordinator-hosted group.
+func (b *BatchNorm2D) SetSyncGroup(g BNSyncer, idx int) {
+	if g != nil && g.Channels() != b.C {
+		panic(fmt.Sprintf("nn: %s has %d channels, sync group %d", b.name, b.C, g.Channels()))
 	}
 	b.sync = g
 	b.syncIdx = idx
@@ -129,19 +133,16 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // forwardSync is the training forward in sync-BN mode: a two-phase
-// cross-shard moment all-reduce. Phase one publishes the local
-// per-channel sums and waits; every participant then folds the slots
-// in ascending participant order, so all replicas derive the identical
-// full-batch mean. Phase two does the same for the squared deviations
-// about that global mean, reproducing the legacy two-pass variance.
-// Running statistics update with the global moments on every replica,
-// keeping the replicas' state identical without a broadcast. With one
-// participant the math degenerates to the legacy path exactly.
+// cross-shard moment all-reduce through the attached BNSyncer. Phase
+// one publishes the local per-channel sums; the syncer hands back the
+// sums folded over all participants in ascending participant order, so
+// all replicas derive the identical full-batch mean. Phase two does
+// the same for the squared deviations about that global mean,
+// reproducing the legacy two-pass variance. Running statistics update
+// with the global moments on every replica, keeping the replicas'
+// state identical without a broadcast. With one participant the math
+// degenerates to the legacy path exactly.
 func (b *BatchNorm2D) forwardSync(x *tensor.Tensor) *tensor.Tensor {
-	if b.syncIdx >= b.sync.parts {
-		panic(fmt.Sprintf("nn: %s sync participant %d of %d — BNSyncGroup not configured for this step",
-			b.name, b.syncIdx, b.sync.parts))
-	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	hw := h * w
 	b.inShape = append(b.inShape[:0], x.Shape...)
@@ -153,10 +154,12 @@ func (b *BatchNorm2D) forwardSync(x *tensor.Tensor) *tensor.Tensor {
 	if cap(b.meanBuf) < c {
 		b.meanBuf = make([]float64, c)
 	}
+	if cap(b.sumBuf) < c {
+		b.sumBuf = make([]float64, c)
+	}
 	mean := b.meanBuf[:c]
+	local := b.sumBuf[:c]
 
-	g := b.sync
-	sum := g.sum[b.syncIdx]
 	for ch := 0; ch < c; ch++ {
 		var s float64
 		for img := 0; img < n; img++ {
@@ -165,26 +168,16 @@ func (b *BatchNorm2D) forwardSync(x *tensor.Tensor) *tensor.Tensor {
 				s += float64(x.Data[base+j])
 			}
 		}
-		sum[ch] = s
+		local[ch] = s
 	}
-	g.cnt[b.syncIdx] = n * hw
-	g.bar.wait()
+	gsum, totalCnt := b.sync.ReduceMoments(b.syncIdx, local, n*hw)
 
-	totalCnt := 0
-	for p := 0; p < g.parts; p++ {
-		totalCnt += g.cnt[p]
-	}
 	cnt := float64(totalCnt)
 	b.syncCnt = cnt
 	for ch := 0; ch < c; ch++ {
-		var s float64
-		for p := 0; p < g.parts; p++ {
-			s += g.sum[p][ch]
-		}
-		mean[ch] = s / cnt
+		mean[ch] = gsum[ch] / cnt
 	}
 
-	sq := g.sq[b.syncIdx]
 	for ch := 0; ch < c; ch++ {
 		var s float64
 		m := mean[ch]
@@ -195,16 +188,12 @@ func (b *BatchNorm2D) forwardSync(x *tensor.Tensor) *tensor.Tensor {
 				s += d * d
 			}
 		}
-		sq[ch] = s
+		local[ch] = s
 	}
-	g.bar.wait()
+	gsq := b.sync.ReduceSquares(b.syncIdx, local)
 
 	for ch := 0; ch < c; ch++ {
-		var vr float64
-		for p := 0; p < g.parts; p++ {
-			vr += g.sq[p][ch]
-		}
-		vr /= cnt
+		vr := gsq[ch] / cnt
 		m := b.Momentum
 		b.RunningMean.Data[ch] = float32((1-m)*float64(b.RunningMean.Data[ch]) + m*mean[ch])
 		b.RunningVar.Data[ch] = float32((1-m)*float64(b.RunningVar.Data[ch]) + m*vr)
@@ -274,9 +263,12 @@ func (b *BatchNorm2D) backwardSync(dy *tensor.Tensor) *tensor.Tensor {
 	hw := b.inShape[2] * b.inShape[3]
 	dx := tensor.New(b.inShape...)
 
-	g := b.sync
-	ldy := g.dy[b.syncIdx]
-	ldyx := g.dyx[b.syncIdx]
+	if cap(b.dyBuf) < c {
+		b.dyBuf = make([]float64, c)
+		b.dyxBuf = make([]float64, c)
+	}
+	ldy := b.dyBuf[:c]
+	ldyx := b.dyxBuf[:c]
 	for ch := 0; ch < c; ch++ {
 		var sumDy, sumDyXhat float64
 		for img := 0; img < n; img++ {
@@ -290,17 +282,13 @@ func (b *BatchNorm2D) backwardSync(dy *tensor.Tensor) *tensor.Tensor {
 		ldy[ch] = sumDy
 		ldyx[ch] = sumDyXhat
 	}
-	g.bar.wait()
+	gdy, gdyx := b.sync.ReduceGrads(b.syncIdx, ldy, ldyx)
 
 	cnt := b.syncCnt
 	for ch := 0; ch < c; ch++ {
 		b.Beta.Grad.Data[ch] += float32(ldy[ch])
 		b.Gamma.Grad.Data[ch] += float32(ldyx[ch])
-		var sumDy, sumDyXhat float64
-		for p := 0; p < g.parts; p++ {
-			sumDy += g.dy[p][ch]
-			sumDyXhat += g.dyx[p][ch]
-		}
+		sumDy, sumDyXhat := gdy[ch], gdyx[ch]
 		gamma := float64(b.Gamma.Value.Data[ch])
 		inv := b.invStd[ch]
 		for img := 0; img < n; img++ {

@@ -180,6 +180,9 @@ var (
 	LatencyBucketsMs = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 	// SizeBuckets covers power-of-two batch and queue sizes.
 	SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	// ByteBuckets covers message and frame sizes from tiny control
+	// frames (heartbeats) through multi-megabyte state transfers.
+	ByteBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
 )
 
 // series is one registered (name, labels) instance.

@@ -2,6 +2,7 @@ package train
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -55,6 +56,69 @@ func TestLoadCheckpointTruncationSweep(t *testing.T) {
 		}
 		if _, err := LoadCheckpoint(p, fresh); err == nil {
 			t.Fatalf("checkpoint truncated to %d/%d bytes accepted", cut, len(good))
+		}
+	}
+	paramsEqual(t, pristine, fresh)
+}
+
+// TestLoadCheckpointSectionBoundaryTruncation cuts a valid TRCKPv1
+// file at exactly every section boundary of the format — the positions
+// where one logical field ends and the next begins, which are the cuts
+// a naive length check is most likely to let through (every field
+// before the cut parses cleanly). Each cut must be rejected: the
+// trailing CRC32 covers the whole payload, so a file missing its tail
+// can never verify.
+func TestLoadCheckpointSectionBoundaryTruncation(t *testing.T) {
+	_, good := saveTestCheckpoint(t, 3)
+	m := robustModel(3)
+
+	// Walk the TRCKPv1 layout (see the format comment in checkpoint.go)
+	// and record the offset after every field.
+	var bounds []int
+	off := 0
+	add := func(n int) { off += n; bounds = append(bounds, off) }
+	add(8) // magic
+	add(8) // seed
+	add(4) // epoch
+	nEpochs := int(binary.LittleEndian.Uint32(good[20:]))
+	add(4)              // trajectory length
+	add(nEpochs * 8)    // train loss
+	add(nEpochs * 8)    // top-1
+	add(nEpochs * 8)    // top-5
+	add(8)              // seconds
+	for i := 0; i < 4; i++ {
+		add(8) // robustness counters
+	}
+	plen := int(binary.LittleEndian.Uint32(good[off:]))
+	add(4)    // params blob length
+	add(plen) // NNCKPv1 params blob
+	add(4)    // adam step
+	add(4)    // parameter count
+	for _, p := range m.Params() {
+		add(p.Value.Numel() * 8) // first moments
+		add(p.Value.Numel() * 8) // second moments
+	}
+	state := nn.CollectState(m)
+	add(4) // state count
+	for _, vec := range state {
+		add(4)            // state length
+		add(len(vec) * 4) // state values
+	}
+	add(4) // crc32
+	if off != len(good) {
+		t.Fatalf("layout walk ends at %d, file is %d bytes — format drifted, update this test", off, len(good))
+	}
+
+	dir := t.TempDir()
+	p := filepath.Join(dir, "boundary.ckpt")
+	fresh := robustModel(5)
+	pristine := robustModel(5)
+	for _, cut := range bounds[:len(bounds)-1] {
+		if err := os.WriteFile(p, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p, fresh); err == nil {
+			t.Fatalf("checkpoint truncated at section boundary %d/%d accepted", cut, len(good))
 		}
 	}
 	paramsEqual(t, pristine, fresh)

@@ -57,29 +57,15 @@ var ReducedScale = Scale{HW: 16, Width: 0.125, Train: 960, Test: 240, Epochs: 9,
 // TinyScale is for tests: minutes of CPU, still end-to-end.
 var TinyScale = Scale{HW: 8, Width: 0.08, Train: 120, Test: 60, Epochs: 6, BatchSize: 20, LR0: 8e-3}
 
-// BuildModel constructs one of the evaluation architectures by name:
-// "lenet", "vgg11", "vgg16", "vgg19", "resnet18", "resnet34",
-// "resnet50".
+// BuildModel constructs one of the evaluation architectures by name
+// (see models.Kinds for the accepted set).
 func BuildModel(kind string, classes int, sc Scale, conv models.ConvFactory, seed int64) *nn.Sequential {
 	cfg := models.Config{Classes: classes, InputHW: sc.HW, Width: sc.Width, Conv: conv, Seed: seed}
-	switch kind {
-	case "lenet":
-		return models.LeNet(cfg)
-	case "vgg11":
-		return models.VGG(11, cfg)
-	case "vgg16":
-		return models.VGG(16, cfg)
-	case "vgg19":
-		return models.VGG(19, cfg)
-	case "resnet18":
-		return models.ResNet(18, cfg)
-	case "resnet34":
-		return models.ResNet(34, cfg)
-	case "resnet50":
-		return models.ResNet(50, cfg)
-	default:
-		panic(fmt.Sprintf("train: unknown model kind %q", kind))
+	m, err := models.ByKind(kind, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("train: %v", err))
 	}
+	return m
 }
 
 // Estimator selects the gradient method for retraining.
@@ -167,12 +153,17 @@ type CompareOptions struct {
 	// Shards forwards to Config.Shards: every phase trains with the
 	// data-parallel sharded step when >= 1.
 	Shards int
+	// SliceRows forwards to Config.ShardSliceRows: the fixed
+	// gradient-slice granularity that keeps sharded results
+	// bit-identical across shard counts (0 = DefaultSliceRows).
+	SliceRows int
 }
 
 // config derives the phase Config for a checkpoint file name.
 func (o CompareOptions) config(base Config, name string) Config {
 	base.SpikeFactor = o.SpikeFactor
 	base.Shards = o.Shards
+	base.ShardSliceRows = o.SliceRows
 	if o.CkptDir != "" {
 		base.CkptPath = filepath.Join(o.CkptDir, name+".ckpt")
 		base.CkptEvery = o.CkptEvery

@@ -10,15 +10,120 @@ import (
 	"github.com/appmult/retrain/internal/tensor"
 )
 
-// defaultSliceRows is the gradient-slice granularity for BN-free
+// DefaultSliceRows is the gradient-slice granularity for BN-free
 // models. The minibatch is cut into fixed slices of this many rows
 // regardless of the shard count, so the set of partial gradient sums —
 // and therefore every float32 rounding decision in the reduction tree
 // — is identical for every P. That is what makes `-shards P`
 // bit-identical to `-shards 1` instead of merely close: floating-point
 // addition is not associative, so a P-dependent partition could not
-// reproduce the P=1 trajectory.
-const defaultSliceRows = 8
+// reproduce the P=1 trajectory. The distributed coordinator
+// (internal/dist) uses the same granularity so `-workers N` joins the
+// same equivalence class.
+const DefaultSliceRows = 8
+
+// PlanSlices cuts a batch of n rows into fixed sliceRows-sized
+// contiguous slices (the last slice may be short), returning the slice
+// boundary offsets (len S+1). The partition depends only on n and
+// sliceRows — never on the worker count — which is the root of the
+// BN-free bit-identity guarantee (see DefaultSliceRows).
+func PlanSlices(n, sliceRows int) []int {
+	if sliceRows < 1 {
+		sliceRows = DefaultSliceRows
+	}
+	s := (n + sliceRows - 1) / sliceRows
+	bounds := make([]int, s+1)
+	for i := 0; i < s; i++ {
+		bounds[i] = i * sliceRows
+	}
+	bounds[s] = n
+	return bounds
+}
+
+// PlanEvenSlices cuts a batch of n rows into parts near-even
+// contiguous slices (capped at n), returning the boundary offsets (len
+// S+1). Sync-BN models use exactly one slice per active participant,
+// because every slice waits in the BN barriers and a participant
+// cannot wait in two slices at once.
+func PlanEvenSlices(n, parts int) []int {
+	s := parts
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	bounds := make([]int, s+1)
+	for i := 0; i <= s; i++ {
+		bounds[i] = i * n / s
+	}
+	return bounds
+}
+
+// ParamLayout returns the flat offset of each parameter in a packed
+// gradient-slice buffer plus the total scalar count. Both the sharded
+// trainer and the distributed wire format use this layout, so a slice
+// buffer produced by a remote worker drops into the same reduction
+// tree untranslated.
+func ParamLayout(params []*nn.Param) (offsets []int, numel int) {
+	offsets = make([]int, len(params))
+	for i, p := range params {
+		offsets[i] = numel
+		numel += p.Value.Numel()
+	}
+	return offsets, numel
+}
+
+// FoldSliceTree folds the S slice gradient buffers with a fixed
+// balanced binary tree (stride doubling over ascending slice indices)
+// into slices[0]. The tree shape depends only on S — never on which
+// worker produced which slice or in what order results arrived — so
+// the reduction is deterministic and, for a fixed slice partition,
+// bit-identical regardless of scheduling.
+func FoldSliceTree(slices [][]float32) {
+	S := len(slices)
+	for stride := 1; stride < S; stride *= 2 {
+		for s := 0; s+stride < S; s += 2 * stride {
+			a, b := slices[s], slices[s+stride]
+			for i, v := range b {
+				a[i] += v
+			}
+		}
+	}
+}
+
+// MergeSliceRanges merges per-observer raw activation ranges recorded
+// by S slices (slice-major layout: index s*nObs+i) with exact min/max
+// — an order-independent fold — and calls apply once per observer
+// index that saw data. Both the in-process sharded step and the
+// distributed coordinator drive their deferred-observe merges through
+// this helper, so the folded quant ranges are identical by
+// construction.
+func MergeSliceRanges(S, nObs int, mn, mx []float32, ok []bool, apply func(i int, mn, mx float32)) {
+	for i := 0; i < nObs; i++ {
+		var lo, hi float32
+		have := false
+		for s := 0; s < S; s++ {
+			if !ok[s*nObs+i] {
+				continue
+			}
+			smn, smx := mn[s*nObs+i], mx[s*nObs+i]
+			if !have {
+				lo, hi, have = smn, smx, true
+				continue
+			}
+			if smn < lo {
+				lo = smn
+			}
+			if smx > hi {
+				hi = smx
+			}
+		}
+		if have {
+			apply(i, lo, hi)
+		}
+	}
+}
 
 // ShardedConfig parameterizes NewShardedStep.
 type ShardedConfig struct {
@@ -99,7 +204,7 @@ func NewShardedStep(model *nn.Sequential, cfg ShardedConfig) *ShardedStep {
 	}
 	sliceRows := cfg.SliceRows
 	if sliceRows < 1 {
-		sliceRows = defaultSliceRows
+		sliceRows = DefaultSliceRows
 	}
 	st := &ShardedStep{
 		shards:    p,
@@ -145,11 +250,7 @@ func NewShardedStep(model *nn.Sequential, cfg ShardedConfig) *ShardedStep {
 			}
 		}
 	}
-	st.offsets = make([]int, len(st.params[0]))
-	for i, pr := range st.params[0] {
-		st.offsets[i] = st.numel
-		st.numel += pr.Value.Numel()
-	}
+	st.offsets, st.numel = ParamLayout(st.params[0])
 	shardGauge.Set(float64(p))
 	return st
 }
@@ -170,23 +271,9 @@ func (st *ShardedStep) Replicas() []*nn.Sequential { return st.replicas }
 // cannot wait in two slices at once.
 func (st *ShardedStep) plan(n int) []int {
 	if st.hasBN {
-		s := st.shards
-		if s > n {
-			s = n
-		}
-		bounds := make([]int, s+1)
-		for i := 0; i <= s; i++ {
-			bounds[i] = i * n / s
-		}
-		return bounds
+		return PlanEvenSlices(n, st.shards)
 	}
-	s := (n + st.sliceRows - 1) / st.sliceRows
-	bounds := make([]int, s+1)
-	for i := 0; i < s; i++ {
-		bounds[i] = i * st.sliceRows
-	}
-	bounds[s] = n
-	return bounds
+	return PlanSlices(n, st.sliceRows)
 }
 
 // Step runs one sharded training step over minibatch (x, y): concurrent
@@ -302,14 +389,7 @@ func (st *ShardedStep) runSlice(w, s, lo, hi int, x *tensor.Tensor, y []int) {
 // so the reduction is deterministic and, for BN-free models,
 // bit-identical for every P.
 func (st *ShardedStep) reduceGrads(S int) {
-	for stride := 1; stride < S; stride *= 2 {
-		for s := 0; s+stride < S; s += 2 * stride {
-			a, b := st.sliceGrads[s], st.sliceGrads[s+stride]
-			for i, v := range b {
-				a[i] += v
-			}
-		}
-	}
+	FoldSliceTree(st.sliceGrads[:S])
 	buf := st.sliceGrads[0]
 	for pi, p := range st.params[0] {
 		copy(p.Grad.Data, buf[st.offsets[pi]:st.offsets[pi]+p.Grad.Numel()])
@@ -323,32 +403,11 @@ func (st *ShardedStep) reduceGrads(S int) {
 // bit-identical — no observer broadcast is needed.
 func (st *ShardedStep) mergeObservers(S int) {
 	nObs := len(st.observed[0])
-	for i := 0; i < nObs; i++ {
-		var mn, mx float32
-		have := false
-		for s := 0; s < S; s++ {
-			if !st.rngOK[s*nObs+i] {
-				continue
-			}
-			smn, smx := st.rngMin[s*nObs+i], st.rngMax[s*nObs+i]
-			if !have {
-				mn, mx, have = smn, smx, true
-				continue
-			}
-			if smn < mn {
-				mn = smn
-			}
-			if smx > mx {
-				mx = smx
-			}
-		}
-		if !have {
-			continue
-		}
+	MergeSliceRanges(S, nObs, st.rngMin, st.rngMax, st.rngOK, func(i int, mn, mx float32) {
 		for r := 0; r < st.shards; r++ {
 			st.observed[r][i].ActivationObserver().ObserveRange(mn, mx)
 		}
-	}
+	})
 }
 
 // Broadcast copies the primary replica's parameter values to every

@@ -18,6 +18,27 @@ import (
 	"github.com/appmult/retrain/internal/tensor"
 )
 
+// Stepper executes one training step on behalf of Run: forward,
+// backward, and gradient reduction into the primary model's Param.Grad
+// accumulators. Run applies the optimizer to the primary's params and
+// then calls Broadcast; after any out-of-band mutation of the primary
+// (loss-spike rollback, checkpoint resume) it calls SyncReplicas
+// instead. ShardedStep is the in-process implementation; the
+// distributed coordinator (internal/dist) implements the same contract
+// over TCP workers.
+type Stepper interface {
+	// Step runs one training step over minibatch (x, y) and returns the
+	// full-batch mean loss, leaving the reduced gradients on the
+	// primary model.
+	Step(x *tensor.Tensor, y []int) float64
+	// Broadcast pushes the primary's updated parameter values to every
+	// replica after an optimizer step.
+	Broadcast()
+	// SyncReplicas restores full replica coherence (values plus
+	// non-parameter layer state) after rollback or resume.
+	SyncReplicas()
+}
+
 // Config controls one training run.
 type Config struct {
 	// Epochs is the number of passes over the training set.
@@ -42,6 +63,14 @@ type Config struct {
 	// ShardSliceRows overrides the gradient-slice granularity of
 	// sharded steps (default 8 rows); see ShardedConfig.
 	ShardSliceRows int
+	// Stepper, when non-nil, replaces the built-in step executor: Run
+	// drives it instead of constructing a ShardedStep (Shards and
+	// ShardSliceRows are then ignored). The distributed coordinator
+	// plugs in here. Run calls Stepper.SyncReplicas after a successful
+	// checkpoint resume so external replicas pick up the restored
+	// state; the caller owns the Stepper's lifecycle (Run does not
+	// detach or close it).
+	Stepper Stepper
 
 	// Robustness knobs (see README "Robustness & fault model"). The
 	// per-step NaN/Inf gradient guard and panic recovery are always on:
@@ -151,6 +180,7 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 	params := model.Params()
 	var res Result
 	startEpoch := 1
+	resumed := false
 	if cfg.Resume && cfg.CkptPath != "" {
 		switch st, err := LoadCheckpoint(cfg.CkptPath, model); {
 		case err == nil:
@@ -161,6 +191,7 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 			opt.Restore(params, st.Adam)
 			res = st.Result
 			startEpoch = st.Epoch + 1
+			resumed = true
 			cfg.logf("resumed %s: %d/%d epochs done", cfg.CkptPath, st.Epoch, cfg.Epochs)
 		case errors.Is(err, fs.ErrNotExist):
 			cfg.logf("no checkpoint at %s; starting fresh", cfg.CkptPath)
@@ -174,15 +205,23 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 	if ckptEvery < 1 {
 		ckptEvery = 1
 	}
-	var shard *ShardedStep
-	if cfg.Shards >= 1 {
+	stepper := cfg.Stepper
+	switch {
+	case stepper != nil:
+		if resumed {
+			// External replicas (e.g. remote workers) may already hold
+			// pre-resume state; push the restored primary to them.
+			stepper.SyncReplicas()
+		}
+	case cfg.Shards >= 1:
 		seq, ok := model.(*nn.Sequential)
 		if !ok {
 			panic(fmt.Sprintf("train: sharded training needs *nn.Sequential, got %T", model))
 		}
 		// Built after resume so the clones copy the restored state.
-		shard = NewShardedStep(seq, ShardedConfig{Shards: cfg.Shards, SliceRows: cfg.ShardSliceRows})
+		shard := NewShardedStep(seq, ShardedConfig{Shards: cfg.Shards, SliceRows: cfg.ShardSliceRows})
 		defer shard.Detach()
+		stepper = shard
 	}
 	it := trainSet.Iter(cfg.BatchSize)
 	for epoch := startEpoch; epoch <= cfg.Epochs; epoch++ {
@@ -200,8 +239,8 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 			b := it.Batch()
 			var loss float64
 			err := data.Guarded(func() {
-				if shard != nil {
-					loss = shard.Step(b.X, b.Y)
+				if stepper != nil {
+					loss = stepper.Step(b.X, b.Y)
 					return
 				}
 				nn.ZeroGrads(model)
@@ -219,8 +258,8 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 			if bad, spiked := lossAnomaly(loss, lossSum, accepted, cfg.SpikeFactor); bad {
 				if snap != nil {
 					snap.restore(model, params, opt)
-					if shard != nil {
-						shard.SyncReplicas()
+					if stepper != nil {
+						stepper.SyncReplicas()
 					}
 					res.Rollbacks++
 					rollbacksTotal.Inc()
@@ -244,8 +283,8 @@ func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 			stepLoss.Set(loss)
 			stepsTotal.Inc()
 			opt.Step(params, lr)
-			if shard != nil {
-				shard.Broadcast()
+			if stepper != nil {
+				stepper.Broadcast()
 			}
 		}
 		trainSeconds := time.Since(start).Seconds()
