@@ -34,10 +34,15 @@ bench:
 	mv $(BENCH_TRAIN).new $(BENCH_TRAIN)
 
 # benchreport is the non-blocking flavor used by verify: quick
-# (noisier) measurements, report-only diff.
+# (noisier) measurements, report-only diff. One check IS blocking: the
+# benchmark name sets must match the committed baseline (-check-names
+# with an unreachable tolerance), so adding or retiring a benchmark in
+# cmd/benchkernels without regenerating BENCH_kernels.json fails loudly
+# instead of silently losing coverage.
 benchreport:
-	-go run ./cmd/benchkernels -quick -out $(BENCH_BASELINE).quick
+	go run ./cmd/benchkernels -quick -out $(BENCH_BASELINE).quick
 	-go run ./scripts/benchdiff -tol 1.5 $(BENCH_BASELINE) $(BENCH_BASELINE).quick
+	go run ./scripts/benchdiff -check-names -tol 1e9 $(BENCH_BASELINE) $(BENCH_BASELINE).quick
 	-rm -f $(BENCH_BASELINE).quick
 	-go run ./cmd/benchtrain -quick -out $(BENCH_TRAIN).quick
 	-go run ./scripts/benchdiff -tol 1.5 $(BENCH_TRAIN) $(BENCH_TRAIN).quick

@@ -1,9 +1,12 @@
 // Command benchkernels measures the approximate-GEMM kernel stack and
 // records the results as a machine-readable baseline. It benchmarks
-// the blocked kernels (the training hot path), the preserved reference
-// kernels they replaced, and an ApproxConv2D forward+backward step
-// end-to-end, then writes ns/op, B/op, and allocs/op per benchmark
-// plus blocked-vs-reference speedup summaries to a JSON file.
+// the dispatching forward kernel (the training hot path, on whatever
+// tier it auto-selects), each forward tier forced individually
+// (closed-form arith, packed-uint16 LUT), the preserved reference
+// kernels, and an ApproxConv2D forward+backward step end-to-end, then
+// writes ns/op, B/op, and allocs/op per benchmark — plus the dispatch
+// path each forward benchmark actually took and tier-vs-tier speedup
+// summaries — to a JSON file.
 //
 // The committed BENCH_kernels.json at the repository root is the
 // current baseline; `make bench` re-measures, diffs against it with
@@ -49,7 +52,11 @@ type record struct {
 	Multiplier string             `json:"multiplier"`
 	Shape      string             `json:"shape"`
 	Benchmarks map[string]result  `json:"benchmarks"`
-	Speedups   map[string]float64 `json:"speedups"`
+	// Paths records the forward dispatch tier each forward benchmark
+	// actually ran on (host-dependent: the arith tier needs AVX2, so a
+	// forced-arith row can legitimately fall back elsewhere).
+	Paths    map[string]string  `json:"paths"`
+	Speedups map[string]float64 `json:"speedups"`
 }
 
 func main() {
@@ -106,38 +113,49 @@ func main() {
 	dyT := tensor.New(y.Shape...)
 	dyT.RandNormal(rng, 1)
 
-	benches := map[string]func(b *testing.B){
-		"Kernel_GEMMForwardBlocked": func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				op.ForwardGEMM(&s, dst, xq, wq, rows, outC, k, pw, px, bias)
-			}
-		},
-		"Kernel_GEMMForwardRef": func(b *testing.B) {
+	fwd := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op.ForwardGEMM(&s, dst, xq, wq, rows, outC, k, pw, px, bias)
+		}
+	}
+	// Each entry is one benchmark row; tier forces ForwardGEMM onto a
+	// specific dispatch path for that row ("" = auto/not a forward
+	// bench). Forced rows fall back to the auto choice when the host or
+	// op cannot provide the tier — the recorded path makes that visible.
+	benches := []struct {
+		name string
+		tier string
+		fn   func(b *testing.B)
+	}{
+		{"Kernel_GEMMForwardBlocked", "", fwd},
+		{"Kernel_GEMMForwardArith", nn.FwdPathArith, fwd},
+		{"Kernel_GEMMForwardPacked16", nn.FwdPathPacked16, fwd},
+		{"Kernel_GEMMForwardRef", "", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.ForwardGEMMRef(xq, wq, rows, outC, k, pw, px, bias)
 			}
-		},
-		"Kernel_GEMMBackwardBlocked": func(b *testing.B) {
+		}},
+		{"Kernel_GEMMBackwardBlocked", "", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.BackwardGEMM(&s, dw, dx, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
 			}
-		},
-		"Kernel_GEMMBackwardRef": func(b *testing.B) {
+		}},
+		{"Kernel_GEMMBackwardRef", "", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.BackwardGEMMRef(dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
 			}
-		},
-		"Layer_ApproxConvStep": func(b *testing.B) {
+		}},
+		{"Layer_ApproxConvStep", "", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				layer.Forward(x, true)
 				layer.Backward(dyT)
 			}
-		},
+		}},
 	}
 
 	rec := record{
@@ -145,24 +163,40 @@ func main() {
 		Multiplier: op.Label,
 		Shape:      fmt.Sprintf("rows=%d outC=%d k=%d", rows, outC, k),
 		Benchmarks: map[string]result{},
+		Paths:      map[string]string{},
 		Speedups:   map[string]float64{},
 	}
-	for name, fn := range benches {
-		r := testing.Benchmark(fn)
-		rec.Benchmarks[name] = result{
+	for _, bm := range benches {
+		path := ""
+		if bm.name == "Kernel_GEMMForwardBlocked" || bm.tier != "" {
+			nn.SetForwardTierOverride(bm.tier)
+			path = op.ForwardPath(rows, k)
+			rec.Paths[bm.name] = path
+		}
+		r := testing.Benchmark(bm.fn)
+		nn.SetForwardTierOverride("")
+		rec.Benchmarks[bm.name] = result{
 			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesOp:  r.AllocedBytesPerOp(),
 			AllocsOp: r.AllocsPerOp(),
 		}
-		fmt.Printf("%-28s %12.0f ns/op %10d B/op %6d allocs/op\n",
-			name, rec.Benchmarks[name].NsOp, rec.Benchmarks[name].BytesOp, rec.Benchmarks[name].AllocsOp)
+		note := ""
+		if path != "" {
+			note = "  path=" + path
+		}
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %6d allocs/op%s\n",
+			bm.name, rec.Benchmarks[bm.name].NsOp, rec.Benchmarks[bm.name].BytesOp,
+			rec.Benchmarks[bm.name].AllocsOp, note)
 	}
 	rec.Speedups["forward_blocked_vs_ref"] = rec.Benchmarks["Kernel_GEMMForwardRef"].NsOp /
 		rec.Benchmarks["Kernel_GEMMForwardBlocked"].NsOp
+	rec.Speedups["forward_arith_vs_packed16"] = rec.Benchmarks["Kernel_GEMMForwardPacked16"].NsOp /
+		rec.Benchmarks["Kernel_GEMMForwardArith"].NsOp
 	rec.Speedups["backward_blocked_vs_ref"] = rec.Benchmarks["Kernel_GEMMBackwardRef"].NsOp /
 		rec.Benchmarks["Kernel_GEMMBackwardBlocked"].NsOp
-	fmt.Printf("forward  blocked vs ref: %.2fx\n", rec.Speedups["forward_blocked_vs_ref"])
-	fmt.Printf("backward blocked vs ref: %.2fx\n", rec.Speedups["backward_blocked_vs_ref"])
+	fmt.Printf("forward  dispatch vs ref:     %.2fx\n", rec.Speedups["forward_blocked_vs_ref"])
+	fmt.Printf("forward  arith vs packed16:   %.2fx\n", rec.Speedups["forward_arith_vs_packed16"])
+	fmt.Printf("backward blocked vs ref:      %.2fx\n", rec.Speedups["backward_blocked_vs_ref"])
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

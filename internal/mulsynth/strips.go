@@ -1,0 +1,128 @@
+package mulsynth
+
+// Strip decomposition of a partial-product mask: a rewrite of the kept
+// pp set as a small list of operand-mask rectangles, which turns the
+// masked multiplier into closed-form arithmetic on masked operands.
+//
+// Every partial product pp[i][j] = w_i AND x_j contributes 2^(i+j), so
+// for any set R of w-bit indices and C of x-bit indices the rectangle
+// R x C sums to exactly (w & maskOf(R)) * (x & maskOf(C)). A mask whose
+// kept set is partitioned into rectangles therefore evaluates as
+//
+//	AM(w, x) = sum_t (w & strips[t].WMask) * (x & strips[t].XMask)
+//
+// with no table lookup at all — the vector-friendly evaluation the fast
+// GEMM kernels use (see internal/nn). Grouping rows (or columns) that
+// share an identical kept pattern always yields such a partition with
+// at most B strips; truncation masks produce one strip per distinct
+// staircase step, and a pure row-perforation mask collapses to a single
+// strip (w & keptRows) * x.
+
+// Strip is one rectangle of kept partial products: the w-bit rows and
+// x-bit columns whose cross products are all retained.
+type Strip struct {
+	// WMask selects the w operand bits (rows) of the rectangle.
+	WMask uint32
+	// XMask selects the x operand bits (columns) of the rectangle.
+	XMask uint32
+}
+
+// DecomposeStrips partitions the kept partial products of m into
+// disjoint operand-mask rectangles. It groups rows by identical kept
+// column pattern and columns by identical kept row pattern, and returns
+// the shorter of the two partitions (rows win ties). The result is
+// deterministic: strips appear in first-occurrence order of their
+// pattern, scanning bit index 0 upward. An all-deleted mask returns an
+// empty (non-nil) slice.
+func DecomposeStrips(m PPMask) []Strip {
+	rows := groupStrips(m, false)
+	cols := groupStrips(m, true)
+	if len(cols) < len(rows) {
+		return cols
+	}
+	return rows
+}
+
+// groupStrips builds the row-grouped partition (or the column-grouped
+// one when transpose is set, with WMask/XMask swapped back so the
+// result always reads as (w-mask, x-mask)).
+func groupStrips(m PPMask, transpose bool) []Strip {
+	b := m.Bits
+	pats := make([]uint32, b)
+	for i := 0; i < b; i++ {
+		var pat uint32
+		for j := 0; j < b; j++ {
+			keep := m.Keep[i][j]
+			if transpose {
+				keep = m.Keep[j][i]
+			}
+			if keep {
+				pat |= 1 << uint(j)
+			}
+		}
+		pats[i] = pat
+	}
+	strips := make([]Strip, 0, b)
+	for i := 0; i < b; i++ {
+		if pats[i] == 0 {
+			continue
+		}
+		seen := false
+		for k := 0; k < i; k++ {
+			if pats[k] == pats[i] {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		var group uint32
+		for k := i; k < b; k++ {
+			if pats[k] == pats[i] {
+				group |= 1 << uint(k)
+			}
+		}
+		if transpose {
+			strips = append(strips, Strip{WMask: pats[i], XMask: group})
+		} else {
+			strips = append(strips, Strip{WMask: group, XMask: pats[i]})
+		}
+	}
+	return strips
+}
+
+// EvalStrips evaluates the strip form at one operand pair:
+// sum_t (w & WMask_t) * (x & XMask_t) + comp. With strips produced by
+// DecomposeStrips this equals PPMask.Mul bit for bit.
+func EvalStrips(strips []Strip, w, x, comp uint32) uint32 {
+	y := comp
+	for _, s := range strips {
+		y += (w & s.WMask) * (x & s.XMask)
+	}
+	return y
+}
+
+// StripMax returns the largest value sum_t (w & WMask_t) * (x & XMask_t)
+// attains over the full B-bit operand grid, i.e. the compensation-free
+// evaluation at all-ones operands (masked products are monotone in each
+// operand bit). The kernels use it to bound packed-lane accumulators.
+func StripMax(strips []Strip, bits int) uint32 {
+	all := uint32(1)<<uint(bits) - 1
+	return EvalStrips(strips, all, all, 0)
+}
+
+// StripTermMax returns the largest single-strip product
+// max_t (w & WMask_t) * (x & XMask_t) over the grid, attained at
+// all-ones operands. The kernels use it to rule out saturation in
+// 16-bit signed multiply-add lanes.
+func StripTermMax(strips []Strip, bits int) uint32 {
+	all := uint32(1)<<uint(bits) - 1
+	var mx uint32
+	for _, s := range strips {
+		if v := (all & s.WMask) * (all & s.XMask); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/appmult/retrain/internal/appmult"
 	"github.com/appmult/retrain/internal/gradient"
+	"github.com/appmult/retrain/internal/mulsynth"
 	"github.com/appmult/retrain/internal/quant"
 )
 
@@ -32,15 +33,46 @@ type Op struct {
 	// Padded copies of LUT/Grads built lazily on first kernel use (see
 	// ensurePadded): rows of padStride entries so a uint8 operand
 	// index provably stays in bounds, which lets the blocked kernels
-	// gather without bounds checks. The tables are treated as
-	// immutable once any kernel has run.
-	padOnce sync.Once
-	lutPad  []uint32
-	gwPad   []float32
-	gxPad   []float32
+	// gather without bounds checks. Products are packed into uint16
+	// rows (lutPad16) whenever lutMax fits — half the L1 working set
+	// per hot row — and kept as uint32 rows (lutPad) otherwise; exactly
+	// one of the two is non-nil for a LUT-backed op. The tables are
+	// treated as immutable once any kernel has run.
+	padOnce  sync.Once
+	lutPad   []uint32
+	lutPad16 []uint16
+	gwPad    []float32
+	gxPad    []float32
 	// lutMax is the largest product in LUT; it decides whether a k-long
 	// accumulation provably fits in int32.
 	lutMax uint32
+
+	// mask/comp capture the multiplier's partial-product structure when
+	// it exposes one (the Masked/Accurate families); ensurePadded
+	// synthesizes and grid-verifies the closed-form evaluator from them.
+	mask *mulsynth.PPMask
+	comp uint32
+	// arith is the verified closed-form tier, nil when unavailable.
+	arith *arithForm
+}
+
+// maskedMultiplier is the structural hook the arith tier keys on: a
+// multiplier that can state which partial products it keeps and what
+// constant it adds.
+type maskedMultiplier interface {
+	appmult.Multiplier
+	Mask() mulsynth.PPMask
+	Comp() uint32
+}
+
+// captureMask stashes the multiplier's partial-product structure on the
+// Op when available, for ensurePadded to synthesize the arith tier.
+func (op *Op) captureMask(m appmult.Multiplier) {
+	if mm, ok := m.(maskedMultiplier); ok {
+		mk := mm.Mask()
+		op.mask = &mk
+		op.comp = mm.Comp()
+	}
 }
 
 // NewOp builds an Op from a multiplier and prebuilt gradient tables.
@@ -49,12 +81,14 @@ func NewOp(m appmult.Multiplier, grads *gradient.Tables) *Op {
 		panic(fmt.Sprintf("nn: gradient tables are %d-bit but multiplier %s is %d-bit",
 			grads.Bits, m.Name(), m.Bits()))
 	}
-	return &Op{
+	op := &Op{
 		Label: m.Name() + "+" + grads.Name,
 		Bits:  m.Bits(),
 		LUT:   appmult.BuildLUT(m),
 		Grads: grads,
 	}
+	op.captureMask(m)
+	return op
 }
 
 // STEOp builds the baseline operator: the multiplier's LUT forward with
@@ -104,18 +138,36 @@ func (op *Op) ensurePadded() {
 		}
 		n := 1 << uint(op.Bits)
 		if op.LUT != nil {
-			op.lutPad = make([]uint32, n*padStride)
 			var mx uint32
-			for w := 0; w < n; w++ {
-				row := op.lutPad[w*padStride : w*padStride+n]
-				copy(row, op.LUT[w*n:(w+1)*n])
-				for _, v := range row {
-					if v > mx {
-						mx = v
-					}
+			for _, v := range op.LUT[:n*n] {
+				if v > mx {
+					mx = v
 				}
 			}
 			op.lutMax = mx
+			if mx <= 0xFFFF {
+				// Packed rows: uint16 entries halve the L1 footprint of
+				// every hoisted hot row (512 B instead of 1 KiB).
+				op.lutPad16 = make([]uint16, n*padStride)
+				for w := 0; w < n; w++ {
+					row := op.lutPad16[w*padStride : w*padStride+n]
+					src := op.LUT[w*n : (w+1)*n]
+					for i, v := range src {
+						row[i] = uint16(v)
+					}
+				}
+			} else {
+				op.lutPad = make([]uint32, n*padStride)
+				for w := 0; w < n; w++ {
+					copy(op.lutPad[w*padStride:w*padStride+n], op.LUT[w*n:(w+1)*n])
+				}
+			}
+			if op.mask != nil {
+				// Synthesize the closed-form tier and verify it against
+				// the LUT over the full operand grid; newArithForm
+				// returns nil (disabling the tier) on any mismatch.
+				op.arith = newArithForm(*op.mask, op.comp, op.Bits, op.LUT)
+			}
 		}
 		if op.Grads != nil {
 			op.gwPad = make([]float32, n*padStride)

@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/appmult/retrain/internal/mulsynth"
+)
+
+// The closed-form ("arith") forward tier: for multipliers whose kept
+// partial products decompose into operand-mask rectangles (the
+// truncation/perforation/deletion-mask family, see
+// mulsynth.DecomposeStrips), the approximate product is
+//
+//	AM(w, x) = sum_t (w & wm_t) * (x & xm_t) + comp
+//
+// — pure arithmetic on masked bytes, no table lookup at all. The GEMM
+// inner loop then needs no gather, which is what lets it vectorize:
+// gemm_arith_amd64.s evaluates 32 rows per iteration in AVX2 registers,
+// where the LUT tiers are stuck issuing one scalar load per MAC.
+//
+// An arithForm is synthesized at ensurePadded time and verified against
+// the op's LUT over the full 2^B x 2^B operand grid before it is ever
+// dispatched to; any mismatch (or a mask family the bounds below rule
+// out) silently disables the tier, so it can only ever be a faster
+// route to bit-identical results.
+
+// maxStrips caps the rectangles an arithForm accepts. DecomposeStrips
+// guarantees at most B <= 8 for the supported widths; anything larger
+// would mean the decomposition is no longer profitable anyway.
+const maxStrips = 8
+
+// arithForm holds the strip decomposition of one Op plus the
+// precomputed per-level coefficient tables and the saturation/overflow
+// gates for the two assembly kernels.
+type arithForm struct {
+	strips []mulsynth.Strip
+	comp   uint32
+	nT     int
+
+	// Word kernel (gemmArithAccumAVX2) tables: cw16[w*nT+t] = w & wm_t,
+	// xm16[t] = xm_t. Products are formed in 16-bit lanes (VPMULLW), so
+	// the only gate is the lane accumulation budget cadWord.
+	cw16 []uint16
+	xm16 []uint16
+	// cadWord is how many k-steps fit in a uint16 lane before widening:
+	// floor(65535 / stripMax).
+	cadWord int
+
+	// Pair kernel (gemmArithPairAVX2) tables, valid only when pairOK:
+	// cwb[w*nT+t] = w & wm_t as a byte (the VPMADDUBSW signed operand,
+	// hence the <= 127 gate), xmPair[t] = xm_t duplicated in both bytes
+	// of a word. The kernel folds two k-steps into each madd.
+	cwb     []uint8
+	xmPair  []uint16
+	pairOK  bool
+	cadPair int
+
+	// stripMax is the largest compensation-free product over the grid;
+	// k*stripMax <= k*lutMax bounds the int32 accumulator exactly as the
+	// LUT tiers' use32 gate does.
+	stripMax uint32
+}
+
+// newArithForm synthesizes and verifies the closed-form evaluator for a
+// mask/comp pair against the op's LUT. It returns nil when the
+// decomposition is unavailable, degenerate, or fails grid verification.
+func newArithForm(mask mulsynth.PPMask, comp uint32, bits int, lut []uint32) *arithForm {
+	strips := mulsynth.DecomposeStrips(mask)
+	if len(strips) == 0 || len(strips) > maxStrips {
+		return nil
+	}
+
+	// Construction-time proof obligation: the strip form must reproduce
+	// the LUT bit for bit over the entire operand grid. This is what
+	// makes the arith tier safe to dispatch to blindly.
+	n := 1 << uint(bits)
+	for w := 0; w < n; w++ {
+		row := lut[w<<uint(bits) : (w+1)<<uint(bits)]
+		for x, want := range row {
+			if mulsynth.EvalStrips(strips, uint32(w), uint32(x), comp) != want {
+				return nil
+			}
+		}
+	}
+
+	af := &arithForm{
+		strips:   strips,
+		comp:     comp,
+		nT:       len(strips),
+		stripMax: mulsynth.StripMax(strips, bits),
+	}
+	if af.stripMax == 0 {
+		// Constant-zero product (plus comp): nothing for the kernels to
+		// accumulate and cadWord would be unbounded. Not worth a tier.
+		return nil
+	}
+	termMax := mulsynth.StripTermMax(strips, bits)
+	af.cadWord = int(math.MaxUint16 / af.stripMax)
+
+	af.cw16 = make([]uint16, n*af.nT)
+	af.xm16 = make([]uint16, af.nT)
+	for t, s := range strips {
+		af.xm16[t] = uint16(s.XMask)
+	}
+	for w := 0; w < n; w++ {
+		for t, s := range strips {
+			af.cw16[w*af.nT+t] = uint16(uint32(w) & s.WMask)
+		}
+	}
+
+	// Pair-kernel gates: the coefficient rides in VPMADDUBSW's signed
+	// byte operand (<= 127), each per-strip pair sum must not saturate
+	// the signed 16-bit madd result (2*termMax <= 32767), and at least
+	// one k-pair must fit the unsigned lane budget (2*stripMax <= 65535).
+	af.pairOK = true
+	for _, s := range strips {
+		if s.WMask > 127 {
+			af.pairOK = false
+		}
+	}
+	if 2*uint64(termMax) > math.MaxInt16 || 2*uint64(af.stripMax) > math.MaxUint16 {
+		af.pairOK = false
+	}
+	if af.pairOK {
+		af.cadPair = int(math.MaxUint16 / (2 * af.stripMax))
+		af.cwb = make([]uint8, n*af.nT)
+		for i, v := range af.cw16 {
+			af.cwb[i] = uint8(v)
+		}
+		af.xmPair = make([]uint16, af.nT)
+		for t, m := range af.xm16 {
+			af.xmPair[t] = m | m<<8
+		}
+	}
+	return af
+}
+
+// evalScalar evaluates the compensation-free strip sum for one operand
+// pair — the scalar form the assembly kernels compute per lane, used
+// for the sub-32-row tail the SIMD kernels leave behind.
+func (af *arithForm) evalScalar(w, x uint32) uint32 {
+	var y uint32
+	cw := af.cw16[int(w)*af.nT : (int(w)+1)*af.nT]
+	for t, c := range cw {
+		y += uint32(c) * (x & uint32(af.xm16[t]))
+	}
+	return y
+}

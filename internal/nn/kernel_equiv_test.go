@@ -192,6 +192,105 @@ func TestBlockedBackwardBitExact(t *testing.T) {
 	}
 }
 
+// TestForwardTierBitExact forces ForwardGEMM onto each dispatch tier a
+// case supports — via forwardTierOverride, the same hook the benchmark
+// harness uses — and requires exact equality with the reference forward
+// on every tier, then runs the backward pass under the same override to
+// prove the tiers leave no state behind that the backward kernels
+// could trip over. Tiers the op/host cannot provide (no AVX2, products
+// beyond uint16, or vice versa) are reported and skipped, so the test
+// also documents which tiers each registry family reaches.
+func TestForwardTierBitExact(t *testing.T) {
+	defer func() { forwardTierOverride = "" }()
+	for _, tier := range []string{FwdPathArith, FwdPathPacked16, FwdPathBlocked} {
+		for _, c := range equivOps(t) {
+			t.Run(tier+"/"+c.name, func(t *testing.T) {
+				forwardTierOverride = ""
+				if c.op.ForwardPath(c.rows, c.k) == FwdPathBehavioral {
+					t.Skip("behavioral op has no LUT tiers")
+				}
+				forwardTierOverride = tier
+				if got := c.op.ForwardPath(c.rows, c.k); got != tier {
+					if tier == FwdPathArith && !hasGemmAsm {
+						t.Skipf("host has no AVX2; tier fell back to %s", got)
+					}
+					t.Skipf("op cannot provide tier %s (falls back to %s)", tier, got)
+				}
+
+				rng := rand.New(rand.NewSource(303))
+				xq, wq, xClip, wClip, dy := randOperands(rng, c)
+				pw, px := quantParams(rng, c)
+				bias := make([]float32, c.outC)
+				for i := range bias {
+					bias[i] = float32(rng.NormFloat64())
+				}
+
+				ref := c.op.ForwardGEMMRef(xq, wq, c.rows, c.outC, c.k, pw, px, bias)
+				var s KernelScratch
+				got := make([]float32, c.rows*c.outC)
+				for pass := 0; pass < 2; pass++ {
+					c.op.ForwardGEMM(&s, got, xq, wq, c.rows, c.outC, c.k, pw, px, bias)
+					for i := range got {
+						if got[i] != ref.Data[i] {
+							t.Fatalf("pass %d: forward[%d] = %v, ref %v", pass, i, got[i], ref.Data[i])
+						}
+					}
+				}
+
+				refDW, refDX := c.op.BackwardGEMMRef(dy, xq, wq, xClip, wClip, c.rows, c.outC, c.k, pw, px)
+				dw := make([]float32, c.outC*c.k)
+				dx := make([]float32, c.rows*c.k)
+				gsum := make([]float32, c.outC)
+				c.op.BackwardGEMM(&s, dw, dx, gsum, dy, xq, wq, xClip, wClip, c.rows, c.outC, c.k, pw, px)
+				for i := range dw {
+					if dw[i] != refDW[i] {
+						t.Fatalf("dw[%d] = %v, ref %v", i, dw[i], refDW[i])
+					}
+				}
+				for i := range dx {
+					if dx[i] != refDX[i] {
+						t.Fatalf("dx[%d] = %v, ref %v", i, dx[i], refDX[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestArithTierSmallRows pins the rows >= 32 SIMD gate together with
+// the scalar tail: shapes straddling the 32-row chunk boundary must be
+// bit-exact whether the asm kernels run over none, some, or all rows.
+func TestArithTierSmallRows(t *testing.T) {
+	if !hasGemmAsm {
+		t.Skip("host has no AVX2")
+	}
+	e, ok := appmult.Lookup("mul7u_rm6")
+	if !ok {
+		t.Fatal("mul7u_rm6 missing")
+	}
+	op := STEOp(e.Mult)
+	defer func() { forwardTierOverride = "" }()
+	forwardTierOverride = FwdPathArith
+	for _, rows := range []int{32, 33, 63, 64, 65, 95, 96} {
+		c := equivCase{op: op, rows: rows, outC: 3, k: 51}
+		if got := op.ForwardPath(rows, c.k); got != FwdPathArith {
+			t.Fatalf("rows=%d: path %s, want arith", rows, got)
+		}
+		rng := rand.New(rand.NewSource(int64(rows)))
+		xq, wq, _, _, _ := randOperands(rng, c)
+		pw, px := quantParams(rng, c)
+		bias := make([]float32, c.outC)
+		ref := op.ForwardGEMMRef(xq, wq, rows, c.outC, c.k, pw, px, bias)
+		got := make([]float32, rows*c.outC)
+		op.ForwardGEMM(nil, got, xq, wq, rows, c.outC, c.k, pw, px, bias)
+		for i := range got {
+			if got[i] != ref.Data[i] {
+				t.Fatalf("rows=%d: forward[%d] = %v, ref %v", rows, i, got[i], ref.Data[i])
+			}
+		}
+	}
+}
+
 // TestBehavioralMatchesLUTForward: an Op simulated behaviorally and the
 // same multiplier through its LUT must produce identical outputs — the
 // two forward-simulation styles the paper compares are functionally

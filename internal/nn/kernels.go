@@ -59,6 +59,10 @@ type KernelScratch struct {
 	xT  []uint8
 	dyT []float32
 	dxT []float32
+	// Arith pair tier: the per-call VPMADDUBSW coefficient stream
+	// (outC x ceil(k/2) x nT byte pairs), built once per ForwardGEMM
+	// and shared read-only by every row-block worker.
+	cwp []uint8
 }
 
 // grow returns s resized to n elements, reallocating only when the
@@ -128,20 +132,102 @@ func (op *Op) ForwardGEMM(s *KernelScratch, dst []float32, xq, wq []uint8, rows,
 		}
 	})
 
-	if op.lutPad == nil {
+	switch path := op.forwardPath(rows, k); path {
+	case FwdPathBehavioral:
 		if op.MulFn == nil {
 			panic("nn: Op has neither a LUT nor a behavioral MulFn")
 		}
 		kernelForwardBehavioral.Inc()
 		op.forwardBehavioral(s, dst, xq, wq, rows, outC, k, px, bias)
-		return
+	case FwdPathArith:
+		kernelForwardArith.Inc()
+		op.forwardArith(s, dst, xq, wq, rows, outC, k, bias, zx)
+	case FwdPathPacked16:
+		kernelForwardPacked16.Inc()
+		forwardBlocked(op, s, dst, op.lutPad16, xq, wq, rows, outC, k, bias, zx)
+	default:
+		kernelForwardBlocked.Inc()
+		forwardBlocked(op, s, dst, op.lutPad, xq, wq, rows, outC, k, bias, zx)
 	}
-	kernelForwardLUT.Inc()
+}
 
+// Forward dispatch tier names, in descending preference order. They
+// double as the `path` label values of the nn_kernel_dispatch_total
+// metric (backward adds "blocked"/"small", the reference kernels "ref").
+const (
+	// FwdPathArith is the closed-form strip-arithmetic SIMD tier
+	// (mask-family multipliers on AVX2 hosts; see arith.go).
+	FwdPathArith = "arith"
+	// FwdPathPacked16 is the blocked-LUT tier with packed uint16 rows
+	// (any op whose largest product fits uint16).
+	FwdPathPacked16 = "packed16"
+	// FwdPathBlocked is the blocked-LUT tier with uint32 rows (the PR 2
+	// kernel; ops with products beyond uint16).
+	FwdPathBlocked = "blocked"
+	// FwdPathBehavioral evaluates MulFn per MAC (ops without a LUT).
+	FwdPathBehavioral = "behavioral"
+)
+
+// forwardTierOverride forces ForwardGEMM onto a specific dispatch tier
+// when the op supports it (falling back to automatic selection when it
+// does not) — a test/bench hook like backwardBlockMin, not part of the
+// API. Write it only from single-threaded setup code.
+var forwardTierOverride = ""
+
+// SetForwardTierOverride forces ForwardGEMM onto the given dispatch
+// tier (one of the FwdPath* constants) whenever an op supports it,
+// falling back to automatic selection when it does not. The empty
+// string restores automatic selection. A benchmark-harness hook (see
+// cmd/benchkernels): call it only from single-threaded setup code,
+// never during concurrent GEMMs.
+func SetForwardTierOverride(tier string) { forwardTierOverride = tier }
+
+// ForwardPath reports which dispatch tier ForwardGEMM will use for a
+// GEMM of the given row count and reduction depth — `rows` gates the
+// SIMD tier's 32-row chunking, `k` the int32 accumulator. The benchmark
+// harness prints it next to each measurement.
+func (op *Op) ForwardPath(rows, k int) string {
+	op.ensurePadded()
+	return op.forwardPath(rows, k)
+}
+
+func (op *Op) forwardPath(rows, k int) string {
+	if op.lutPad == nil && op.lutPad16 == nil {
+		return FwdPathBehavioral
+	}
 	// int32 accumulation is safe when the worst-case row sum fits;
-	// lutMax*k also bounds the true sum for every smaller operand.
+	// lutMax*k also bounds the true sum for every smaller operand (and
+	// bounds the arith tier's comp-free sums, since stripMax <= lutMax).
 	use32 := uint64(op.lutMax)*uint64(k) <= math.MaxInt32
-	lutPad := op.lutPad
+	arithOK := op.arith != nil && hasGemmAsm && use32 && rows >= 32
+	switch forwardTierOverride {
+	case FwdPathArith:
+		if arithOK {
+			return FwdPathArith
+		}
+	case FwdPathPacked16:
+		if op.lutPad16 != nil {
+			return FwdPathPacked16
+		}
+	case FwdPathBlocked:
+		if op.lutPad != nil {
+			return FwdPathBlocked
+		}
+	}
+	if arithOK {
+		return FwdPathArith
+	}
+	if op.lutPad16 != nil {
+		return FwdPathPacked16
+	}
+	return FwdPathBlocked
+}
+
+// forwardBlocked runs the blocked-LUT tiers (uint32 or packed uint16
+// rows) over pooled row tiles, picking the accumulator width from the
+// op's overflow gate.
+func forwardBlocked[E uint16 | uint32](op *Op, s *KernelScratch, dst []float32, lutPad []E, xq, wq []uint8, rows, outC, k int, bias []float32, zx int64) {
+	use32 := uint64(op.lutMax)*uint64(k) <= math.MaxInt32
 	tensor.ParallelBlocks(rows, fwdRowTile, func(lo, hi int) {
 		t := fwdTilePool.Get().(*fwdTile)
 		nR := hi - lo
@@ -149,11 +235,11 @@ func (op *Op) ForwardGEMM(s *KernelScratch, dst []float32, xq, wq []uint8, rows,
 		if use32 {
 			t.acc32 = grow(t.acc32, outC*nR)
 			gemmAccumTiles(t.acc32, t.xt, lutPad, xq, wq, lo, nR, outC, k)
-			fwdEpilogue(dst, t.acc32, s, bias, lo, nR, outC, zx)
+			fwdEpilogue(dst, t.acc32, s, bias, lo, nR, outC, zx, 0)
 		} else {
 			t.acc64 = grow(t.acc64, outC*nR)
 			gemmAccumTiles(t.acc64, t.xt, lutPad, xq, wq, lo, nR, outC, k)
-			fwdEpilogue(dst, t.acc64, s, bias, lo, nR, outC, zx)
+			fwdEpilogue(dst, t.acc64, s, bias, lo, nR, outC, zx, 0)
 		}
 		fwdTilePool.Put(t)
 	})
@@ -163,7 +249,10 @@ func (op *Op) ForwardGEMM(s *KernelScratch, dst []float32, xq, wq []uint8, rows,
 // over k tiles. The operand tile is transposed once per k tile so the
 // inner gather loop walks contiguous memory, and the hoisted LUT row
 // (padStride entries, uint8 index) is gathered without bounds checks.
-func gemmAccumTiles[T int32 | int64](acc []T, xt []uint8, lutPad []uint32, xq, wq []uint8, lo, nR, outC, k int) {
+// E is the padded-row element: packed uint16 rows keep the hot row at
+// 512 B of L1 (the packed16 tier), uint32 rows carry products beyond
+// uint16 (the blocked tier).
+func gemmAccumTiles[T int32 | int64, E uint16 | uint32](acc []T, xt []uint8, lutPad []E, xq, wq []uint8, lo, nR, outC, k int) {
 	for i := range acc {
 		acc[i] = 0
 	}
@@ -280,13 +369,16 @@ func putLeU64(b []uint8, v uint64) {
 }
 
 // fwdEpilogue applies the Eq. (8) zero-point corrections and
-// dequantization, matching the reference expression exactly.
-func fwdEpilogue[T int32 | int64](dst []float32, acc []T, s *KernelScratch, bias []float32, lo, nR, outC int, zx int64) {
+// dequantization, matching the reference expression exactly. addConst
+// is added to every accumulator before correction: the arith tier
+// accumulates compensation-free strip sums and folds k*comp back here
+// (zero for the LUT tiers, whose table entries already include comp).
+func fwdEpilogue[T int32 | int64](dst []float32, acc []T, s *KernelScratch, bias []float32, lo, nR, outC int, zx, addConst int64) {
 	for r := 0; r < nR; r++ {
 		or := dst[(lo+r)*outC : (lo+r+1)*outC]
 		sx := s.sumX[lo+r]
 		for oc := range or {
-			a := int64(acc[oc*nR+r]) - zx*s.sumW[oc] - s.zw[oc]*sx + s.kzz[oc]
+			a := int64(acc[oc*nR+r]) + addConst - zx*s.sumW[oc] - s.zw[oc]*sx + s.kzz[oc]
 			or[oc] = s.ss[oc]*float32(a) + bias[oc]
 		}
 	}

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// Driver for the closed-form forward tier (FwdPathArith): the same row
+// tiling, transposes, and Eq. (8) epilogue as the blocked LUT tiers,
+// with the per-tile accumulation handed to the AVX2 strip kernels in
+// gemm_arith_amd64.s. Two kernel flavours share the tile loop:
+//
+//   - pair (VPMADDUBSW): two k-steps per multiply-add; used whenever
+//     the op's coefficients fit the signed-byte operand and its strip
+//     bounds rule out madd saturation (every 7-bit-or-narrower mask
+//     family member, see arithForm.pairOK).
+//   - word (VPMULLW): one k-step per multiply in uint16 lanes; covers
+//     the remaining mask ops (8-bit families with coefficients > 127).
+//
+// Both accumulate compensation-free sums; k*comp is folded back in the
+// epilogue. Rows beyond the kernels' 32-row granularity fall back to
+// scalar strip evaluation — the identical integer sum, so the tier
+// stays bit-exact with ForwardGEMMRef regardless of shape.
+
+// forwardArith dispatches one forward GEMM through the strip kernels.
+// Caller guarantees op.arith != nil, hasGemmAsm, rows >= 32, and the
+// int32 accumulator gate (see forwardPath).
+func (op *Op) forwardArith(s *KernelScratch, dst []float32, xq, wq []uint8, rows, outC, k int, bias []float32, zx int64) {
+	af := op.arith
+	nT := af.nT
+	kComp := int64(k) * int64(af.comp)
+	usePair := af.pairOK
+	nKpTot := (k + 1) / 2
+	if usePair {
+		s.cwp = grow(s.cwp, outC*nKpTot*nT*2)
+		buildPairStream(s.cwp, wq, af, outC, k)
+	}
+	cwp := s.cwp
+
+	tensor.ParallelBlocks(rows, fwdRowTile, func(lo, hi int) {
+		t := fwdTilePool.Get().(*fwdTile)
+		nR := hi - lo
+		t.xt = grow(t.xt, fwdKTile*nR)
+		t.acc32 = grow(t.acc32, outC*nR)
+		acc := t.acc32
+		for i := range acc {
+			acc[i] = 0
+		}
+		nR32 := nR &^ 31
+		for kb := 0; kb < k; kb += fwdKTile {
+			nK := k - kb
+			if nK > fwdKTile {
+				nK = fwdKTile
+			}
+			transposeTileU8(t.xt, xq, lo, nR, kb, nK, k)
+			if usePair && nK&1 == 1 {
+				// Odd k-step count: the pair kernel reads a virtual last
+				// column whose coefficient byte is zero; zero the column
+				// so the dead VPAND input is defined.
+				pad := t.xt[nK*nR : (nK+1)*nR]
+				for i := range pad {
+					pad[i] = 0
+				}
+			}
+			if nR32 > 0 {
+				if usePair {
+					bNKp := (nK + 1) / 2
+					for oc := 0; oc < outC; oc++ {
+						gemmArithPairAVX2(&acc[oc*nR], &t.xt[0],
+							&cwp[(oc*nKpTot+kb/2)*nT*2], &af.xmPair[0],
+							int64(nR), int64(bNKp), int64(nT), int64(af.cadPair))
+					}
+				} else {
+					for oc := 0; oc < outC; oc++ {
+						gemmArithAccumAVX2(&acc[oc*nR], &t.xt[0],
+							&wq[oc*k+kb], &af.cw16[0], &af.xm16[0],
+							int64(nR), int64(nK), int64(nT), int64(af.cadWord))
+					}
+				}
+			}
+			if nR32 < nR {
+				arithTailRows(acc, t.xt, af, wq, nR32, nR, nK, kb, outC, k)
+			}
+		}
+		fwdEpilogue(dst, acc, s, bias, lo, nR, outC, zx, kComp)
+		fwdTilePool.Put(t)
+	})
+}
+
+// buildPairStream writes the pair kernel's coefficient stream: for each
+// output channel and k-pair p, the nT byte pairs
+// (cw(wq[oc][2p]), cw(wq[oc][2p+1])) in strip order. The virtual
+// partner of an odd trailing k-step gets coefficient zero. Built once
+// per call and amortized across every row block; serial on purpose —
+// it is a couple of percent of one call, and another pool dispatch
+// would cost the forward pass its alloc parity with the LUT tiers.
+func buildPairStream(cwp []uint8, wq []uint8, af *arithForm, outC, k int) {
+	nT := af.nT
+	nKp := (k + 1) / 2
+	for oc := 0; oc < outC; oc++ {
+		wr := wq[oc*k : (oc+1)*k]
+		out := cwp[oc*nKp*nT*2 : (oc+1)*nKp*nT*2]
+		for p := 0; p < nKp; p++ {
+			c0 := af.cwb[int(wr[2*p])*nT : (int(wr[2*p])+1)*nT]
+			row := out[p*nT*2 : (p+1)*nT*2]
+			if 2*p+1 < k {
+				c1 := af.cwb[int(wr[2*p+1])*nT : (int(wr[2*p+1])+1)*nT]
+				for t := 0; t < nT; t++ {
+					row[2*t] = c0[t]
+					row[2*t+1] = c1[t]
+				}
+			} else {
+				for t := 0; t < nT; t++ {
+					row[2*t] = c0[t]
+					row[2*t+1] = 0
+				}
+			}
+		}
+	}
+}
+
+// arithTailRows evaluates the strip sum scalar for the tile rows in
+// [rLo, nR) that the 32-row SIMD kernels leave behind — the same
+// integer summands in a different order, which integer associativity
+// makes bit-identical. acc and xt use the tile's nR row stride.
+func arithTailRows(acc []int32, xt []uint8, af *arithForm, wq []uint8, rLo, nR, nK, kb, outC, k int) {
+	nT := af.nT
+	for oc := 0; oc < outC; oc++ {
+		wr := wq[oc*k+kb : oc*k+kb+nK]
+		accRow := acc[oc*nR : (oc+1)*nR]
+		for i, wv := range wr {
+			cw := af.cw16[int(wv)*nT : (int(wv)+1)*nT]
+			col := xt[i*nR : (i+1)*nR]
+			for r := rLo; r < nR; r++ {
+				xv := uint32(col[r])
+				var sum uint32
+				for t, c := range cw {
+					sum += uint32(c) * (xv & uint32(af.xm16[t]))
+				}
+				accRow[r] += int32(sum)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 // extension; Eq. (8) then uses s_w[oc] and Z_w[oc]).
 func (op *Op) ForwardGEMMRef(xq, wq []uint8, rows, outC, k int, pw []quant.Params, px quant.Params, bias []float32) *tensor.Tensor {
 	checkPW(pw, outC)
+	kernelForwardRef.Inc()
 	out := tensor.New(rows, outC)
 	zx := int64(px.Zero)
 	zw := make([]int64, outC)
@@ -90,6 +91,7 @@ func (op *Op) BackwardGEMMRef(dy []float32, xq, wq []uint8, xClip, wClip []bool,
 	rows, outC, k int, pw []quant.Params, px quant.Params) (dw, dxcols []float32) {
 
 	checkPW(pw, outC)
+	kernelBackwardRef.Inc()
 	dw = make([]float32, outC*k)
 	dxcols = make([]float32, rows*k)
 	zx := float32(px.Zero)

@@ -13,18 +13,30 @@ import (
 // One atomic update per GEMM call keeps the overhead invisible next to
 // the kernels' microsecond-to-millisecond runtimes.
 var (
-	kernelForwardLUT = obs.Default().Counter("nn_kernel_dispatch_total",
+	kernelForwardArith = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
-		"kernel", "forward", "path", "lut")
+		"kernel", "forward", "path", FwdPathArith)
+	kernelForwardPacked16 = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "forward", "path", FwdPathPacked16)
+	kernelForwardBlocked = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "forward", "path", FwdPathBlocked)
 	kernelForwardBehavioral = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
-		"kernel", "forward", "path", "behavioral")
+		"kernel", "forward", "path", FwdPathBehavioral)
+	kernelForwardRef = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "forward", "path", "ref")
 	kernelBackwardBlocked = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
 		"kernel", "backward", "path", "blocked")
 	kernelBackwardSmall = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
 		"kernel", "backward", "path", "small")
+	kernelBackwardRef = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "backward", "path", "ref")
 )
 
 // scratchBytes tracks the bytes currently held by every buffer sized

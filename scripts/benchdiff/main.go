@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	benchdiff [-tol 1.3] old.json new.json
+//	benchdiff [-tol 1.3] [-check-names] old.json new.json
 //
-// A benchmark present in only one file is reported but never fails the
-// diff, so the harness survives adding or retiring benchmarks.
+// By default a benchmark present in only one file is reported but never
+// fails the diff, so the harness survives adding or retiring
+// benchmarks. With -check-names any name-set mismatch is fatal: that is
+// the CI mode that catches a benchmark added (or retired) in
+// cmd/benchkernels without the committed BENCH_kernels.json being
+// regenerated alongside it.
 package main
 
 import (
@@ -44,9 +48,11 @@ func load(path string) (record, error) {
 
 func main() {
 	tol := flag.Float64("tol", 1.3, "fail when new ns/op exceeds old by more than this factor")
+	checkNames := flag.Bool("check-names", false,
+		"fail when the baseline and new recordings do not cover the same benchmark names")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 1.3] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 1.3] [-check-names] old.json new.json")
 		os.Exit(2)
 	}
 	newRec, err := load(flag.Arg(1))
@@ -74,12 +80,13 @@ func main() {
 	}
 	sort.Strings(names)
 
-	regressed := 0
+	regressed, mismatched := 0, 0
 	for _, name := range names {
 		o := oldRec.Benchmarks[name]
 		n, ok := newRec.Benchmarks[name]
 		if !ok {
 			fmt.Printf("%-28s retired (only in %s)\n", name, flag.Arg(0))
+			mismatched++
 			continue
 		}
 		ratio := n.NsOp / o.NsOp
@@ -96,7 +103,13 @@ func main() {
 	for name := range newRec.Benchmarks {
 		if _, ok := oldRec.Benchmarks[name]; !ok {
 			fmt.Printf("%-28s new (no baseline)\n", name)
+			mismatched++
 		}
+	}
+	if *checkNames && mismatched > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark name(s) differ between %s and %s — regenerate the baseline with `make bench`\n",
+			mismatched, flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
 	}
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.2fx\n", regressed, *tol)
