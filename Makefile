@@ -20,7 +20,7 @@ vet:
 # data pipeline, the fault injector, the serving subsystem's
 # batcher/replica machinery, and the distributed coordinator/worker.
 race:
-	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/ ./internal/obs/ ./internal/dist/
+	go test -race -count=1 ./internal/tensor/ ./internal/nn/ ./internal/train/ ./internal/data/ ./internal/faults/ ./internal/serve/ ./internal/obs/ ./internal/dist/ ./internal/fleet/
 
 # bench re-measures the kernel and training-step baselines, fails
 # loudly if anything regressed beyond benchdiff's tolerance, and
@@ -51,7 +51,7 @@ benchreport:
 # doccheck enforces doc comments on every exported identifier in the
 # public-facing internal packages (see scripts/doccheck).
 doccheck:
-	go run ./scripts/doccheck ./internal/serve ./internal/nn ./internal/obs ./internal/dist ./cmd/traind
+	go run ./scripts/doccheck ./internal/serve ./internal/nn ./internal/obs ./internal/dist ./internal/fleet ./cmd/traind ./cmd/fleetd
 
 verify: vet tier1 doccheck race benchreport
 

@@ -126,6 +126,17 @@ type Coordinator struct {
 	events chan event
 	done   chan struct{}
 
+	// Connection-goroutine lifecycle: every accepted conn is tracked so
+	// Close can force-close it (unblocking its reader), and every
+	// spawned goroutine registers in connWG so Close can join them all.
+	// Without the join, a dying readLoop could still be calling
+	// logf/metrics after Close returns — in tests that means t.Logf
+	// after the test completed, a scheduling-sensitive panic under
+	// -race.
+	connWG sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]bool
+
 	// Training-goroutine-owned scheduling state.
 	workers map[int]*remote
 	stepID  uint64
@@ -185,6 +196,7 @@ func NewCoordinator(model *nn.Sequential, spec Spec, cfg CoordinatorConfig) (*Co
 		events:  make(chan event, 4096),
 		done:    make(chan struct{}),
 		workers: make(map[int]*remote),
+		conns:   make(map[net.Conn]bool),
 	}
 	c.bnCond = sync.NewCond(&c.mu)
 	nn.VisitLayers(model, func(l nn.Layer) {
@@ -235,8 +247,27 @@ func (c *Coordinator) acceptLoop() {
 		if c.cfg.WrapConn != nil {
 			conn = c.cfg.WrapConn(conn)
 		}
-		go c.handshake(conn, id)
+		c.trackConn(conn)
+		c.connWG.Add(1)
+		go func(conn net.Conn, id int) {
+			defer c.connWG.Done()
+			c.handshake(conn, id)
+		}(conn, id)
 	}
+}
+
+// trackConn registers an accepted connection so Close can force it
+// shut; that unblocks any goroutine parked in a read on it.
+func (c *Coordinator) trackConn(conn net.Conn) {
+	c.connMu.Lock()
+	c.conns[conn] = true
+	c.connMu.Unlock()
+}
+
+func (c *Coordinator) untrackConn(conn net.Conn) {
+	c.connMu.Lock()
+	delete(c.conns, conn)
+	c.connMu.Unlock()
 }
 
 // handshake validates a connecting worker and parks it on joinCh for
@@ -248,6 +279,7 @@ func (c *Coordinator) handshake(conn net.Conn, id int) {
 	t, p, err := fc.recv()
 	if err != nil || t != frameHello {
 		conn.Close()
+		c.untrackConn(conn)
 		return
 	}
 	d := &dec{b: p}
@@ -255,6 +287,7 @@ func (c *Coordinator) handshake(conn net.Conn, id int) {
 	if d.err() != nil || ver != ProtocolVersion {
 		c.logf("rejecting worker speaking protocol %d (want %d)", ver, ProtocolVersion)
 		conn.Close()
+		c.untrackConn(conn)
 		return
 	}
 	fc.readTimeout = 0 // liveness is the heartbeat monitor's job now
@@ -264,12 +297,21 @@ func (c *Coordinator) handshake(conn net.Conn, id int) {
 	c.spec.encode(&e)
 	if fc.send(frameWelcome, e.b) != nil {
 		conn.Close()
+		c.untrackConn(conn)
 		return
 	}
 	w := &remote{id: id, fc: fc, outstanding: make(map[int]bool)}
 	w.lastPong.Store(time.Now().UnixNano())
-	go c.readLoop(w)
-	go c.heartbeatLoop(w)
+	c.connWG.Add(2)
+	go func() {
+		defer c.connWG.Done()
+		defer c.untrackConn(conn)
+		c.readLoop(w)
+	}()
+	go func() {
+		defer c.connWG.Done()
+		c.heartbeatLoop(w)
+	}()
 	select {
 	case c.joinCh <- w:
 	case <-c.done:
@@ -293,7 +335,11 @@ func (c *Coordinator) readLoop(w *remote) {
 			w.lastPong.Store(time.Now().UnixNano())
 		case frameBNReduce:
 			cp := append([]byte(nil), p...)
-			go c.handleBN(w, cp)
+			c.connWG.Add(1) // safe: our own readLoop entry keeps connWG > 0
+			go func() {
+				defer c.connWG.Done()
+				c.handleBN(w, cp)
+			}()
 		case frameSliceResult, frameSliceAborted:
 			d := &dec{b: p}
 			ev := event{w: w, step: d.u64(), attempt: d.u32(), slice: int(d.u32())}
@@ -357,7 +403,14 @@ func (c *Coordinator) workerDead(w *remote, reason string, byHeartbeat bool) {
 	if byHeartbeat {
 		heartbeatTimeouts.Inc()
 	}
-	c.logf("worker %d lost: %s", w.id, reason)
+	select {
+	case <-c.done:
+		// Shutdown teardown, not a failure: every reader dies when
+		// Close force-closes its conn. Stay quiet so the log sink
+		// (t.Logf in tests) is never touched during teardown.
+	default:
+		c.logf("worker %d lost: %s", w.id, reason)
+	}
 	c.pushEvent(event{w: w, kind: evDead, reason: reason})
 }
 
@@ -991,8 +1044,11 @@ func (c *Coordinator) SyncReplicas() {
 }
 
 // Close dismisses the workers (Bye), stops the listener and monitors,
-// and returns the primary model to single-process semantics. Safe to
-// call once training is done; idempotent.
+// and returns the primary model to single-process semantics. It does
+// not return until every connection goroutine (handshakes, readers,
+// heartbeat monitors, BN handlers) has exited, so nothing touches the
+// coordinator — or its log sink — after Close. Safe to call once
+// training is done; idempotent.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -1007,6 +1063,20 @@ func (c *Coordinator) Close() {
 	}
 	c.ln.Close()
 	close(c.done)
+	// Poison the BN barriers so any handler still parked on behalf of a
+	// remote participant unwinds instead of blocking the join below.
+	for _, g := range c.groups {
+		g.Abort()
+	}
+	// Force-close every remaining conn — including ones still mid
+	// handshake, which the Bye loop above (admitted workers only)
+	// misses — then join all connection goroutines.
+	c.connMu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.connMu.Unlock()
+	c.connWG.Wait()
 	for _, ol := range c.observed {
 		ol.SetDeferObserve(false)
 	}

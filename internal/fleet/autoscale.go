@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"github.com/appmult/retrain/internal/obs"
+	"github.com/appmult/retrain/internal/serve"
+)
+
+// AutoscaleConfig tunes the worker-local per-model replica autoscaler.
+// The autoscaler reads the live serve_* queue gauges the batcher
+// already exports to internal/obs — the same series /metrics scrapes —
+// so its view of pressure is exactly what an operator's dashboard
+// shows.
+type AutoscaleConfig struct {
+	// Enabled turns the autoscaler on.
+	Enabled bool
+	// Interval is the decision cadence (default 250ms).
+	Interval time.Duration
+	// MinReplicas floors scale-down (default 1).
+	MinReplicas int
+	// MaxReplicas caps scale-up (default: the model's Spec.MaxReplicas,
+	// enforced by the batcher pool anyway).
+	MaxReplicas int
+	// UpQueueFrac scales up when queue depth exceeds this fraction of
+	// queue capacity (default 0.5).
+	UpQueueFrac float64
+	// DownIdleTicks scales down after this many consecutive ticks with
+	// an empty queue and every replica idle (default 8).
+	DownIdleTicks int
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.MinReplicas < 1 {
+		c.MinReplicas = 1
+	}
+	if c.UpQueueFrac <= 0 {
+		c.UpQueueFrac = 0.5
+	}
+	if c.DownIdleTicks < 1 {
+		c.DownIdleTicks = 8
+	}
+	return c
+}
+
+// scaleDecision is the pure decision rule, split out so tests can
+// drive it with synthetic observations. It returns +1 (add a replica),
+// -1 (retire one), or 0, given the observed queue depth and capacity,
+// the live and idle replica counts, and how many consecutive ticks the
+// model has been fully idle.
+func scaleDecision(cfg AutoscaleConfig, depth, capacity, live, idle, idleTicks int) int {
+	if capacity > 0 && float64(depth) >= cfg.UpQueueFrac*float64(capacity) {
+		if cfg.MaxReplicas > 0 && live >= cfg.MaxReplicas {
+			return 0
+		}
+		return 1
+	}
+	if depth == 0 && idle >= live && live > cfg.MinReplicas && idleTicks >= cfg.DownIdleTicks {
+		return -1
+	}
+	return 0
+}
+
+// runAutoscaler drives one model's replica count until ctx is
+// cancelled: each tick it reads the model's serve_queue_depth,
+// serve_queue_capacity, serve_replicas_idle, and serve_replicas_live
+// gauges from the default obs registry and applies scaleDecision.
+func runAutoscaler(ctx context.Context, m *serve.Model, cfg AutoscaleConfig, logf func(string, ...any)) {
+	cfg = cfg.withDefaults()
+	name := m.Spec().Name
+	reg := obs.Default()
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	idleTicks := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		depth, _ := reg.ReadValue("serve_queue_depth", "model", name)
+		capacity, _ := reg.ReadValue("serve_queue_capacity", "model", name)
+		idle, _ := reg.ReadValue("serve_replicas_idle", "model", name)
+		live, _ := reg.ReadValue("serve_replicas_live", "model", name)
+		if depth == 0 && idle >= live {
+			idleTicks++
+		} else {
+			idleTicks = 0
+		}
+		switch scaleDecision(cfg, int(depth), int(capacity), int(live), int(idle), idleTicks) {
+		case 1:
+			if err := m.AddReplica(); err == nil {
+				autoscaleEvents(name, "up").Inc()
+				if logf != nil {
+					logf("autoscale %s: +1 replica (queue %d/%d) -> %d", name, int(depth), int(capacity), m.Replicas())
+				}
+			}
+		case -1:
+			if m.RemoveReplica() {
+				autoscaleEvents(name, "down").Inc()
+				idleTicks = 0
+				if logf != nil {
+					logf("autoscale %s: -1 replica (idle) -> %d", name, m.Replicas())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"container/list"
+	"math"
+	"sync"
+)
+
+// QuantizeImage maps a float image onto the uint8 grid spanning
+// [lo, hi]: 256 evenly spaced levels, values clamped to the range, NaN
+// pinned to the bottom level. The returned bytes are both the cache
+// key material and — via DequantizeImage — the canonical input the
+// router actually serves, so two requests with the same key are served
+// bit-identically by construction. dst is reused when large enough.
+func QuantizeImage(dst []byte, img []float32, lo, hi float32) []byte {
+	if cap(dst) < len(img) {
+		dst = make([]byte, len(img))
+	}
+	dst = dst[:len(img)]
+	scale := float64(hi-lo) / 255
+	inv := 0.0
+	if scale > 0 {
+		inv = 1 / scale
+	}
+	for i, v := range img {
+		f := (float64(v) - float64(lo)) * inv
+		switch {
+		case math.IsNaN(f) || f < 0:
+			f = 0
+		case f > 255:
+			f = 255
+		}
+		dst[i] = uint8(math.RoundToEven(f))
+	}
+	return dst
+}
+
+// DequantizeImage reconstructs the canonical float image from
+// quantized bytes: the exact grid-point values every request with the
+// same key is served with. dst is reused when large enough.
+func DequantizeImage(dst []float32, q []byte, lo, hi float32) []float32 {
+	if cap(dst) < len(q) {
+		dst = make([]float32, len(q))
+	}
+	dst = dst[:len(q)]
+	scale := float64(hi-lo) / 255
+	for i, b := range q {
+		dst[i] = float32(float64(lo) + float64(b)*scale)
+	}
+	return dst
+}
+
+// cacheEntry is one cached response.
+type cacheEntry struct {
+	key    string
+	scores []float32
+}
+
+func (e *cacheEntry) bytes() int { return len(e.key) + 4*len(e.scores) + 64 }
+
+// Cache is a size-bounded exact-match LRU response cache keyed on
+// (model, quantized input bytes). Because the router canonicalizes
+// every cached model's input onto the quantization grid before
+// dispatch, a hit returns exactly the bytes a fresh compute of the
+// same key would — hits are bit-identical, never merely close. All
+// methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int
+	curBytes int
+	ll       *list.List // front = most recent
+	entries  map[string]*list.Element
+}
+
+// NewCache returns a cache bounded to maxBytes of accounted entry
+// size. maxBytes <= 0 returns nil — a nil *Cache is a valid, always-
+// missing cache, which is how caching is disabled.
+func NewCache(maxBytes int) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	c := &Cache{maxBytes: maxBytes, ll: list.New(), entries: make(map[string]*list.Element)}
+	cacheCapacityBytes.Set(float64(maxBytes))
+	return c
+}
+
+// Key builds the cache key for one request: the model name joined with
+// the quantized input bytes.
+func Key(model string, quantized []byte) string {
+	return model + "\x00" + string(quantized)
+}
+
+// Get returns the cached scores for key, or nil. The returned slice is
+// shared — callers must not mutate it.
+func (c *Cache) Get(key string) []float32 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).scores
+}
+
+// Put stores scores under key, evicting least-recently-used entries
+// until the byte budget holds. An entry larger than the whole budget
+// is not stored. scores is copied.
+func (c *Cache) Put(key string, scores []float32) {
+	if c == nil {
+		return
+	}
+	e := &cacheEntry{key: key, scores: append([]float32(nil), scores...)}
+	if e.bytes() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.curBytes += e.bytes() - old.bytes()
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(e)
+		c.curBytes += e.bytes()
+	}
+	for c.curBytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, victim.key)
+		c.curBytes -= victim.bytes()
+		cacheEvictions.Inc()
+	}
+	cacheBytes.Set(float64(c.curBytes))
+	cacheEntries.Set(float64(len(c.entries)))
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the accounted size of the cache contents.
+func (c *Cache) Bytes() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}

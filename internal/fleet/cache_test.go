@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestQuantizeCanonicalizes(t *testing.T) {
+	lo, hi := float32(-3), float32(3)
+	img := []float32{-3, 0, 3, -10, 10, float32(math.NaN()), 0.004}
+	q := QuantizeImage(nil, img, lo, hi)
+	if q[0] != 0 || q[2] != 255 {
+		t.Fatalf("range endpoints quantized to %d, %d; want 0, 255", q[0], q[2])
+	}
+	if q[3] != 0 || q[4] != 255 {
+		t.Fatalf("out-of-range values not clamped: %d, %d", q[3], q[4])
+	}
+	if q[5] != 0 {
+		t.Fatalf("NaN quantized to %d, want 0", q[5])
+	}
+
+	// Canonicalization is idempotent: re-quantizing the dequantized
+	// image reproduces the same bytes, so a cached model's key is a
+	// fixed point — the property bit-identical cache hits rest on.
+	canon := DequantizeImage(nil, q, lo, hi)
+	q2 := QuantizeImage(nil, canon, lo, hi)
+	for i := range q {
+		if q[i] != q2[i] {
+			t.Fatalf("canonicalization not idempotent at %d: %d -> %d", i, q[i], q2[i])
+		}
+	}
+
+	// Two nearby inputs inside the same grid cell share a key.
+	a := QuantizeImage(nil, []float32{1.0}, lo, hi)
+	b := QuantizeImage(nil, []float32{1.002}, lo, hi)
+	if a[0] != b[0] {
+		t.Fatalf("neighbors split across grid cells: %d vs %d", a[0], b[0])
+	}
+}
+
+func TestCacheLRUAndBudget(t *testing.T) {
+	entry := func(i int) (string, []float32) {
+		return Key("m", []byte(fmt.Sprintf("img-%03d", i))), []float32{float32(i), 0, 0, 0}
+	}
+	k0, s0 := entry(0)
+	per := (&cacheEntry{key: k0, scores: s0}).bytes()
+	c := NewCache(4 * per) // room for exactly 4 entries
+
+	for i := 0; i < 5; i++ {
+		k, s := entry(i)
+		c.Put(k, s)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", c.Len())
+	}
+	if c.Bytes() > 4*per {
+		t.Fatalf("cache holds %d bytes, budget %d", c.Bytes(), 4*per)
+	}
+	if got := c.Get(k0); got != nil {
+		t.Fatalf("oldest entry survived eviction: %v", got)
+	}
+
+	// Touching an entry shields it from the next eviction.
+	k1, _ := entry(1)
+	if c.Get(k1) == nil {
+		t.Fatal("entry 1 missing before touch test")
+	}
+	k5, s5 := entry(5)
+	c.Put(k5, s5)
+	if c.Get(k1) == nil {
+		t.Fatal("recently used entry evicted ahead of older ones")
+	}
+	k2, _ := entry(2)
+	if c.Get(k2) != nil {
+		t.Fatal("LRU victim (entry 2) survived")
+	}
+
+	// Stored scores are copies and exact.
+	if got := c.Get(k5); len(got) != 4 || got[0] != 5 {
+		t.Fatalf("entry 5 scores = %v", got)
+	}
+
+	// An entry larger than the whole budget is refused.
+	c.Put(Key("m", []byte("huge")), make([]float32, per))
+	if c.Len() != 4 {
+		t.Fatalf("oversized entry changed cache to %d entries", c.Len())
+	}
+}
+
+func TestCacheNilIsDisabled(t *testing.T) {
+	c := NewCache(0)
+	if c != nil {
+		t.Fatal("NewCache(0) must return nil")
+	}
+	c.Put("k", []float32{1})
+	if c.Get("k") != nil || c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("nil cache must be inert")
+	}
+}
+
+func TestCacheKeyDisambiguates(t *testing.T) {
+	// Model name and payload cannot collide across the separator.
+	if Key("a", []byte("bc")) == Key("ab", []byte("c")) {
+		t.Fatal("keys for different (model, input) pairs collide")
+	}
+}

@@ -1,0 +1,390 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/appmult/retrain/internal/dist"
+	"github.com/appmult/retrain/internal/serve"
+)
+
+// fleetSpec is the small deterministic model every e2e test serves:
+// same seed everywhere, so every worker holds bit-identical weights.
+func fleetSpec(maxDelay time.Duration) serve.Spec {
+	return serve.Spec{Name: "m", Kind: "lenet", Classes: 3, InputHW: 8, Width: 0.08,
+		MaxBatch: 8, MaxDelay: maxDelay, Replicas: 1, Seed: 7}
+}
+
+func testImage(rng *rand.Rand) []float32 {
+	img := make([]float32, 3*8*8)
+	for i := range img {
+		img[i] = rng.Float32()*2 - 1
+	}
+	return img
+}
+
+// startWorker launches a worker joining addr and returns its cancel
+// func plus a channel closed when Run returns.
+func startWorker(t *testing.T, cfg WorkerConfig) (context.CancelFunc, chan struct{}) {
+	t.Helper()
+	cfg.Dial = dist.Backoff{Base: 10 * time.Millisecond, Jitter: -1}
+	if cfg.MaxDialAttempts == 0 {
+		cfg.MaxDialAttempts = 50
+	}
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return cancel, done
+}
+
+func startRouter(t *testing.T, cfg RouterConfig) *Router {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestFleetEndToEndAndCacheBitIdentity(t *testing.T) {
+	r := startRouter(t, RouterConfig{CacheBytes: 1 << 20})
+	startWorker(t, WorkerConfig{Router: r.Addr(), Models: []serve.Spec{fleetSpec(time.Millisecond)}})
+	startWorker(t, WorkerConfig{Router: r.Addr(), Models: []serve.Spec{fleetSpec(time.Millisecond)}})
+	if err := r.AwaitWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	img := testImage(rng)
+	ctx := context.Background()
+
+	fresh, meta, err := r.Predict(ctx, "m", img, 0)
+	if err != nil {
+		t.Fatalf("fresh predict: %v", err)
+	}
+	if meta.Cached || len(fresh) != 3 {
+		t.Fatalf("fresh predict: cached=%v scores=%v", meta.Cached, fresh)
+	}
+
+	// Same image again: a cache hit, bit-identical to the fresh compute.
+	hit, meta2, err := r.Predict(ctx, "m", img, 0)
+	if err != nil {
+		t.Fatalf("repeat predict: %v", err)
+	}
+	if !meta2.Cached {
+		t.Fatal("repeat of an identical image missed the cache")
+	}
+	for i := range fresh {
+		if math.Float32bits(fresh[i]) != math.Float32bits(hit[i]) {
+			t.Fatalf("cache hit differs at %d: %x vs %x", i, math.Float32bits(fresh[i]), math.Float32bits(hit[i]))
+		}
+	}
+
+	// A nearby image inside the same quantization cell shares the key —
+	// and because the router canonicalizes inputs onto the grid before
+	// dispatch, its answer is the same bytes whether it hits or computes.
+	near := append([]float32(nil), img...)
+	near[0] += 0.001 // grid step is 6/255 ≈ 0.024
+	nearScores, meta3, err := r.Predict(ctx, "m", near, 0)
+	if err != nil {
+		t.Fatalf("near predict: %v", err)
+	}
+	if !meta3.Cached {
+		t.Fatal("neighbor inside the grid cell missed the cache")
+	}
+	for i := range fresh {
+		if math.Float32bits(fresh[i]) != math.Float32bits(nearScores[i]) {
+			t.Fatalf("neighbor hit differs at %d", i)
+		}
+	}
+
+	// A genuinely different image computes fresh.
+	if _, meta4, err := r.Predict(ctx, "m", testImage(rng), 0); err != nil || meta4.Cached {
+		t.Fatalf("distinct image: err=%v cached=%v", err, meta4.Cached)
+	}
+
+	// Error paths.
+	if _, _, err := r.Predict(ctx, "nope", img, 0); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if _, _, err := r.Predict(ctx, "m", img[:5], 0); err == nil {
+		t.Fatal("short image accepted")
+	}
+}
+
+func TestFleetWorkerKillFailoverNoLostResponses(t *testing.T) {
+	beforeFailovers := failovers.Value()
+	r := startRouter(t, RouterConfig{
+		HeartbeatEvery:   20 * time.Millisecond,
+		HeartbeatTimeout: 300 * time.Millisecond,
+	})
+
+	// Worker 1's connection is held so the test can sever it abruptly —
+	// the moral equivalent of kill -9 mid-request.
+	var w1conn atomic.Pointer[net.Conn]
+	cancel1, done1 := startWorker(t, WorkerConfig{
+		Router: r.Addr(),
+		// A long straggler window keeps requests in flight on the worker,
+		// so the kill lands while work is genuinely outstanding.
+		Models: []serve.Spec{fleetSpec(60 * time.Millisecond)},
+		WrapConn: func(c net.Conn) net.Conn {
+			w1conn.Store(&c)
+			return c
+		},
+	})
+	startWorker(t, WorkerConfig{Router: r.Addr(), Models: []serve.Spec{fleetSpec(time.Millisecond)}})
+	if err := r.AwaitWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 24
+	rng := rand.New(rand.NewSource(13))
+	images := make([][]float32, n)
+	for i := range images {
+		images[i] = testImage(rng)
+	}
+	var wg sync.WaitGroup
+	results := make([]error, n)
+	answered := make([]int32, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := r.Predict(context.Background(), "m", images[i], 0)
+			atomic.AddInt32(&answered[i], 1)
+			results[i] = err
+		}(i)
+	}
+
+	// Let the router spread the requests, then kill worker 1 while its
+	// 60ms batch window still holds roughly half of them.
+	time.Sleep(20 * time.Millisecond)
+	cancel1()
+	if cp := w1conn.Load(); cp != nil {
+		(*cp).Close()
+	}
+	wg.Wait()
+	<-done1
+
+	for i, err := range results {
+		if err != nil {
+			t.Errorf("request %d lost across the kill: %v", i, err)
+		}
+		if got := atomic.LoadInt32(&answered[i]); got != 1 {
+			t.Errorf("request %d answered %d times", i, got)
+		}
+	}
+	if got := failovers.Value() - beforeFailovers; got < 1 {
+		t.Errorf("fleet_failover_total rose by %v, want >= 1", got)
+	}
+	if r.Workers() != 1 {
+		t.Errorf("router still counts %d workers after the kill", r.Workers())
+	}
+}
+
+// laggedConn delays every write once armed, simulating a worker whose
+// responses straggle without being dead.
+type laggedConn struct {
+	net.Conn
+	armed *atomic.Bool
+	delay time.Duration
+}
+
+func (c *laggedConn) Write(b []byte) (int, error) {
+	if c.armed.Load() {
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Write(b)
+}
+
+func TestFleetHedgingTrimsSlowReplica(t *testing.T) {
+	beforeHedges, beforeWins := hedges.Value(), hedgeWins.Value()
+	r := startRouter(t, RouterConfig{
+		Hedge:    true,
+		HedgeMin: 10 * time.Millisecond,
+	})
+	var lag atomic.Bool
+	startWorker(t, WorkerConfig{
+		Router: r.Addr(),
+		Models: []serve.Spec{fleetSpec(time.Millisecond)},
+		WrapConn: func(c net.Conn) net.Conn {
+			return &laggedConn{Conn: c, armed: &lag, delay: 200 * time.Millisecond}
+		},
+	})
+	startWorker(t, WorkerConfig{Router: r.Addr(), Models: []serve.Spec{fleetSpec(time.Millisecond)}})
+	if err := r.AwaitWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lag.Store(true)
+
+	rng := rand.New(rand.NewSource(17))
+	sawHedge := false
+	for i := 0; i < 8; i++ {
+		start := time.Now()
+		_, meta, err := r.Predict(context.Background(), "m", testImage(rng), 0)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if meta.Hedged {
+			sawHedge = true
+			// A hedged request must not have waited out the slow
+			// replica's full 200ms lag.
+			if d := time.Since(start); d > 150*time.Millisecond {
+				t.Errorf("hedged request %d still took %s", i, d)
+			}
+		}
+	}
+	if !sawHedge {
+		t.Error("no request reported hedging against a 200ms-lagged replica")
+	}
+	if hedges.Value() <= beforeHedges {
+		t.Error("fleet_hedges_total did not rise")
+	}
+	if hedgeWins.Value() <= beforeWins {
+		t.Error("fleet_hedge_wins_total did not rise")
+	}
+}
+
+func TestFleetHTTPHandler(t *testing.T) {
+	r := startRouter(t, RouterConfig{CacheBytes: 1 << 20})
+	startWorker(t, WorkerConfig{Router: r.Addr(), Models: []serve.Spec{fleetSpec(time.Millisecond)}})
+	if err := r.AwaitWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(19))
+	body, _ := json.Marshal(PredictRequest{Image: testImage(rng)}) // model elided: single-model fleet
+	resp, err := ts.Client().Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Model != "m" || len(pr.Scores) != 3 || pr.Attempts != 1 {
+		t.Fatalf("predict response %+v", pr)
+	}
+
+	for _, path := range []string{"/v1/models", "/healthz", "/fleetz", "/metrics"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestFleetWorkerReconnectsAfterRouterRestart(t *testing.T) {
+	r := startRouter(t, RouterConfig{})
+	startWorker(t, WorkerConfig{Router: r.Addr(), Models: []serve.Spec{fleetSpec(time.Millisecond)}})
+	if err := r.AwaitWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	addr := r.Addr()
+	// Crash the router abruptly: no Bye frame (that would be a clean
+	// dismissal), just dead sockets — the worker must redial.
+	r.ln.Close()
+	r.mu.Lock()
+	for _, w := range r.workers {
+		w.fc.close()
+	}
+	r.mu.Unlock()
+
+	// A new router on the same address picks the worker back up.
+	r2, err := NewRouter(RouterConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if err := r2.AwaitWorkers(1, 10*time.Second); err != nil {
+		t.Fatalf("worker never rejoined: %v", err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	if _, _, err := r2.Predict(context.Background(), "m", testImage(rng), 0); err != nil {
+		t.Fatalf("predict after rejoin: %v", err)
+	}
+}
+
+func TestFleetAutoscaleGrowsUnderLoad(t *testing.T) {
+	spec := fleetSpec(time.Millisecond)
+	spec.QueueDepth = 8
+	spec.MaxReplicas = 3
+	r := startRouter(t, RouterConfig{MaxInflight: 64})
+	startWorker(t, WorkerConfig{
+		Router: r.Addr(),
+		Models: []serve.Spec{spec},
+		Autoscale: AutoscaleConfig{
+			Enabled:     true,
+			Interval:    10 * time.Millisecond,
+			MaxReplicas: 3,
+			UpQueueFrac: 0.25,
+		},
+	})
+	if err := r.AwaitWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		img := testImage(rng)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Predict(context.Background(), "m", img, 0)
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	before := autoscaleEvents("m", "up").Value()
+	grew := false
+	for time.Now().Before(deadline) {
+		if autoscaleEvents("m", "up").Value() > before {
+			grew = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if !grew {
+		t.Error("autoscaler never added a replica under sustained queue pressure")
+	}
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected frameConn pair over an in-memory pipe.
+func pipeConns(t *testing.T) (*frameConn, *frameConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return newFrameConn(a, time.Second, time.Second), newFrameConn(b, time.Second, time.Second)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	fa, fb := pipeConns(t)
+	payloads := [][]byte{[]byte("hello fleet"), nil, make([]byte, 1<<15)}
+	for i := range payloads[2] {
+		payloads[2][i] = byte(i * 7)
+	}
+	go func() {
+		for i, p := range payloads {
+			if err := fa.send(frameType(i+1), p); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}
+	}()
+	for i, want := range payloads {
+		ft, p, err := fb.recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ft != frameType(i+1) || len(p) != len(want) {
+			t.Fatalf("frame %d: type %s len %d, want type %s len %d", i, ft, len(p), frameType(i+1), len(want))
+		}
+		for j := range want {
+			if p[j] != want[j] {
+				t.Fatalf("frame %d byte %d: %d != %d", i, j, p[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFrameConcurrentSenders(t *testing.T) {
+	fa, fb := pipeConns(t)
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var e enc
+			e.u64(uint64(i))
+			fa.send(frameResult, e.b)
+		}(i)
+	}
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		ft, p, err := fb.recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ft != frameResult {
+			t.Fatalf("got %s frame", ft)
+		}
+		d := &dec{b: p}
+		v := d.u64()
+		if d.err() != nil || seen[v] {
+			t.Fatalf("frame %d: value %d (dup=%v, err=%v)", i, v, seen[v], d.err())
+		}
+		seen[v] = true
+	}
+	wg.Wait()
+}
+
+// tamperConn flips one byte at a chosen frame offset on its way through.
+type tamperConn struct {
+	net.Conn
+	offset int64
+	pos    int64
+}
+
+func (c *tamperConn) Write(b []byte) (int, error) {
+	mod := append([]byte(nil), b...)
+	if c.offset >= c.pos && c.offset < c.pos+int64(len(b)) {
+		mod[c.offset-c.pos] ^= 0x40
+	}
+	c.pos += int64(len(b))
+	return c.Conn.Write(mod)
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	cases := []struct {
+		name   string
+		offset int64 // byte to flip in the first frame
+		want   string
+	}{
+		{"magic", 2, "magic"},
+		{"seq", 9, "seq"},
+		{"payload", frameHeaderLen + 1, "CRC"},
+		{"crc", frameHeaderLen + 5, "CRC"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := net.Pipe()
+			defer a.Close()
+			defer b.Close()
+			fa := newFrameConn(&tamperConn{Conn: a, offset: tc.offset}, time.Second, time.Second)
+			fb := newFrameConn(b, time.Second, time.Second)
+			go fa.send(framePredict, []byte("payload"))
+			_, _, err := fb.recv()
+			if err == nil {
+				t.Fatal("corrupt frame accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFramePayloadCapEnforced(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fb := newFrameConn(b, time.Second, time.Second)
+	// Hand-build a header declaring an absurd payload length.
+	hdr := make([]byte, frameHeaderLen)
+	copy(hdr, frameMagic[:])
+	hdr[16] = byte(framePredict)
+	hdr[17], hdr[18], hdr[19], hdr[20] = 0xff, 0xff, 0xff, 0x7f
+	go a.Write(hdr)
+	_, _, err := fb.recv()
+	if err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("oversized length accepted: %v", err)
+	}
+}
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e enc
+	e.u8(7)
+	e.u32(1 << 30)
+	e.u64(1 << 60)
+	e.f32(-1.5)
+	e.f32s([]float32{0, 1.25, -3e7})
+	e.str("model-a")
+	e.bytes([]byte{9, 8})
+
+	d := &dec{b: e.b}
+	if d.u8() != 7 || d.u32() != 1<<30 || d.u64() != 1<<60 || d.f32() != -1.5 {
+		t.Fatal("scalar round trip failed")
+	}
+	fs := d.f32s()
+	if len(fs) != 3 || fs[1] != 1.25 {
+		t.Fatalf("f32s round trip: %v", fs)
+	}
+	if d.str() != "model-a" {
+		t.Fatal("str round trip failed")
+	}
+	if bs := d.bytes(); len(bs) != 2 || bs[0] != 9 {
+		t.Fatalf("bytes round trip: %v", bs)
+	}
+	if err := d.err(); err != nil {
+		t.Fatalf("clean payload decodes with error: %v", err)
+	}
+}
+
+func TestDecMalformedAndTrailing(t *testing.T) {
+	// Truncated string length: sticky failure.
+	var e enc
+	e.u32(1000) // claims 1000 bytes follow
+	d := &dec{b: e.b}
+	if s := d.str(); s != "" {
+		t.Fatalf("truncated str decoded as %q", s)
+	}
+	if d.err() == nil {
+		t.Fatal("truncated payload decoded cleanly")
+	}
+	// After failure every accessor stays zero.
+	if d.u64() != 0 || d.f32() != 0 {
+		t.Fatal("sticky failure not sticky")
+	}
+
+	// Trailing bytes are an error too.
+	var e2 enc
+	e2.u8(1)
+	e2.u8(2)
+	d2 := &dec{b: e2.b}
+	d2.u8()
+	if d2.err() == nil {
+		t.Fatal("trailing byte not reported")
+	}
+}

@@ -1,0 +1,907 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors the router returns for a routed prediction; the HTTP layer
+// maps them onto status codes.
+var (
+	// ErrOverloaded is returned when the router's bounded admission is
+	// full (429).
+	ErrOverloaded = errors.New("fleet: router at max inflight")
+	// ErrUnknownModel is returned for a model no worker registered (404).
+	ErrUnknownModel = errors.New("fleet: unknown model")
+	// ErrNoWorker is returned when every replica hosting the model is
+	// gone or already tried (503).
+	ErrNoWorker = errors.New("fleet: no live worker for model")
+	// ErrDeadlineExceeded is returned when the request's deadline passed
+	// before any replica answered (504).
+	ErrDeadlineExceeded = errors.New("fleet: deadline exceeded")
+)
+
+// RouterConfig parameterizes NewRouter.
+type RouterConfig struct {
+	// Addr is the TCP listen address workers dial (e.g. ":9001").
+	Addr string
+	// ReplicaSet is how many distinct workers form one model's replica
+	// set on the consistent-hash ring: the primary plus its hedge and
+	// failover targets (default 2).
+	ReplicaSet int
+	// MaxInflight bounds concurrently admitted predictions; past it
+	// requests are rejected with 429 (default 256).
+	MaxInflight int
+	// MaxAttempts bounds dispatches per request across hedges and
+	// failovers (default 3).
+	MaxAttempts int
+	// Hedge enables dispatching a second attempt to the next replica
+	// once a request outlives the hedge deadline.
+	Hedge bool
+	// HedgeMin floors the hedge deadline (default 20ms).
+	HedgeMin time.Duration
+	// HedgeFactor scales the observed latency quantile into the hedge
+	// deadline: hedge after max(HedgeMin, HedgeFactor*q) (default 2).
+	HedgeFactor float64
+	// HedgeQuantile is the latency quantile the hedge deadline tracks
+	// (default 0.95).
+	HedgeQuantile float64
+	// CacheBytes is the response-cache budget; 0 disables caching.
+	CacheBytes int
+	// RequestTimeout bounds one routed prediction end to end
+	// (default 30s). A client timeout_ms below it wins.
+	RequestTimeout time.Duration
+	// HeartbeatEvery is the ping cadence per worker (default 500ms).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout declares a worker dead when no pong arrived for
+	// this long (default 5s).
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives progress and failure lines.
+	Logf func(format string, args ...any)
+	// WrapConn, when non-nil, wraps every accepted connection; tests
+	// use it to interpose fault injectors and targeted kills.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.ReplicaSet < 1 {
+		c.ReplicaSet = 2
+	}
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 256
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 20 * time.Millisecond
+	}
+	if c.HedgeFactor <= 0 {
+		c.HedgeFactor = 2
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// fworker is the router's handle on one registered worker connection.
+type fworker struct {
+	id       int
+	member   string // consistent-hash ring member name
+	fc       *frameConn
+	models   map[string]bool
+	lastPong atomic.Int64
+	dead     atomic.Bool
+}
+
+// modelEntry is the router's catalog record for one model name.
+type modelEntry struct {
+	kind     string
+	classes  int
+	imageLen int
+	quantLo  float32
+	quantHi  float32
+	hosts    map[int]*fworker
+	rr       uint64 // round-robin cursor over the replica set
+}
+
+// call is one client prediction in flight: attempts feed its done
+// channel, the first one wins.
+type call struct {
+	done      chan callResult
+	finished  atomic.Bool
+	primaryID uint64       // first attempt's id, for hedge-win accounting
+	tried     map[int]bool // worker ids dispatched to (guarded by Router.mu)
+	attempts  int          // dispatches so far (guarded by Router.mu)
+	model     string
+	image     []float32
+	budgetMS  uint32
+}
+
+// callResult is one attempt's outcome.
+type callResult struct {
+	scores    []float32
+	batchSize int
+	code      uint8 // error code, 0 on success
+	msg       string
+	workerID  int
+	attemptID uint64
+}
+
+// attempt is one dispatch of a call to one worker.
+type attempt struct {
+	id   uint64
+	c    *call
+	w    *fworker
+	isHedge bool
+}
+
+// Router accepts fleet workers, routes client predictions to them by
+// consistent hash with hedging, failover, and response caching, and
+// fronts the whole tier with the HTTP API (Handler). All methods are
+// safe for concurrent use.
+type Router struct {
+	cfg   RouterConfig
+	ln    net.Listener
+	cache *Cache
+
+	inflight chan struct{}
+
+	mu       sync.Mutex
+	workers  map[int]*fworker
+	catalog  map[string]*modelEntry
+	ring     *Ring
+	attempts map[uint64]*attempt
+	nextID   uint64
+	nworkers int // admitted so far, for id assignment
+
+	lat   map[string]*latWindow
+	latMu sync.Mutex
+
+	// Connection-goroutine lifecycle: every accepted conn is tracked so
+	// Close can force-close it, and every spawned goroutine registers
+	// in connWG so Close can join them — after Close returns, nothing
+	// touches the router or its log sink.
+	connWG sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]bool
+
+	done      chan struct{}
+	closeOnce sync.Once
+	start     time.Time
+}
+
+// NewRouter starts listening for workers. Call Close when done.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listen %s: %w", cfg.Addr, err)
+	}
+	r := &Router{
+		cfg:      cfg,
+		ln:       ln,
+		cache:    NewCache(cfg.CacheBytes),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		workers:  make(map[int]*fworker),
+		catalog:  make(map[string]*modelEntry),
+		ring:     NewRing(),
+		attempts: make(map[uint64]*attempt),
+		lat:      make(map[string]*latWindow),
+		conns:    make(map[net.Conn]bool),
+		done:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the worker listener's address (useful with ":0").
+func (r *Router) Addr() string { return r.ln.Addr().String() }
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Close stops the listener, dismisses every worker, and fails the
+// attempts still in flight. It does not return until every connection
+// goroutine (handshakes, readers, heartbeat monitors) has exited, so
+// nothing touches the router — or its log sink — afterwards.
+// Idempotent.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() {
+		close(r.done)
+		r.ln.Close()
+		r.mu.Lock()
+		ws := make([]*fworker, 0, len(r.workers))
+		for _, w := range r.workers {
+			ws = append(ws, w)
+		}
+		r.mu.Unlock()
+		for _, w := range ws {
+			w.fc.send(frameBye, nil)
+			r.workerDead(w, "router closed", false)
+		}
+		// Force-close every remaining conn — including ones still mid
+		// handshake, which the Bye loop above (registered workers only)
+		// misses — then join all connection goroutines.
+		r.connMu.Lock()
+		for conn := range r.conns {
+			conn.Close()
+		}
+		r.connMu.Unlock()
+		r.connWG.Wait()
+	})
+}
+
+// Workers returns the number of currently registered workers.
+func (r *Router) Workers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.workers)
+}
+
+// AwaitWorkers blocks until at least min workers are registered or the
+// timeout expires.
+func (r *Router) AwaitWorkers(min int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if r.Workers() >= min {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: %d of %d workers after %s", r.Workers(), min, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// acceptLoop admits TCP connections and handshakes each in its own
+// goroutine. It exits when the listener closes.
+func (r *Router) acceptLoop() {
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		if r.cfg.WrapConn != nil {
+			conn = r.cfg.WrapConn(conn)
+		}
+		r.trackConn(conn)
+		r.connWG.Add(1)
+		go func(conn net.Conn) {
+			defer r.connWG.Done()
+			r.handshake(conn)
+		}(conn)
+	}
+}
+
+// trackConn registers an accepted connection so Close can force it
+// shut; that unblocks any goroutine parked in a read on it.
+func (r *Router) trackConn(conn net.Conn) {
+	r.connMu.Lock()
+	r.conns[conn] = true
+	r.connMu.Unlock()
+}
+
+func (r *Router) untrackConn(conn net.Conn) {
+	r.connMu.Lock()
+	delete(r.conns, conn)
+	r.connMu.Unlock()
+}
+
+// handshake validates a connecting worker, reads its model
+// registration, and admits it into routing.
+func (r *Router) handshake(conn net.Conn) {
+	fc := newFrameConn(conn, r.cfg.WriteTimeout, 10*time.Second)
+	t, p, err := fc.recv()
+	if err != nil || t != frameHello {
+		conn.Close()
+		r.untrackConn(conn)
+		return
+	}
+	d := &dec{b: p}
+	if ver := d.u32(); d.err() != nil || ver != ProtocolVersion {
+		r.logf("rejecting worker speaking protocol %d (want %d)", d.u32(), ProtocolVersion)
+		conn.Close()
+		r.untrackConn(conn)
+		return
+	}
+	r.mu.Lock()
+	r.nworkers++
+	id := r.nworkers
+	r.mu.Unlock()
+	var e enc
+	e.u32(ProtocolVersion)
+	e.u32(uint32(id))
+	if fc.send(frameWelcome, e.b) != nil {
+		conn.Close()
+		r.untrackConn(conn)
+		return
+	}
+	t, p, err = fc.recv()
+	if err != nil || t != frameRegister {
+		conn.Close()
+		r.untrackConn(conn)
+		return
+	}
+	w := &fworker{id: id, member: fmt.Sprintf("w%d", id), fc: fc, models: make(map[string]bool)}
+	w.lastPong.Store(time.Now().UnixNano())
+	if err := r.register(w, p); err != nil {
+		r.logf("worker %d: bad registration: %v", id, err)
+		conn.Close()
+		r.untrackConn(conn)
+		return
+	}
+	fc.readTimeout = 0 // liveness is the heartbeat monitor's job now
+	r.connWG.Add(2)
+	go func() {
+		defer r.connWG.Done()
+		defer r.untrackConn(conn)
+		r.readLoop(w)
+	}()
+	go func() {
+		defer r.connWG.Done()
+		r.heartbeatLoop(w)
+	}()
+	workersJoined.Inc()
+	r.logf("worker %d registered %v (%d live)", id, modelNames(w.models), r.Workers())
+}
+
+func modelNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// register decodes a registration payload and installs the worker into
+// the catalog and the ring. Conflicting model metadata (same name,
+// different shape) is a registration error.
+func (r *Router) register(w *fworker, payload []byte) error {
+	d := &dec{b: payload}
+	n := int(d.u32())
+	type reg struct {
+		name, kind       string
+		classes, imgLen  int
+		quantLo, quantHi float32
+	}
+	regs := make([]reg, 0, n)
+	for i := 0; i < n && !d.fail; i++ {
+		regs = append(regs, reg{
+			name: d.str(), kind: d.str(),
+			classes: int(d.u32()), imgLen: int(d.u32()),
+			quantLo: d.f32(), quantHi: d.f32(),
+		})
+	}
+	if err := d.err(); err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		return fmt.Errorf("fleet: worker registered zero models")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range regs {
+		ent, ok := r.catalog[g.name]
+		if !ok {
+			ent = &modelEntry{kind: g.kind, classes: g.classes, imageLen: g.imgLen,
+				quantLo: g.quantLo, quantHi: g.quantHi, hosts: make(map[int]*fworker)}
+			r.catalog[g.name] = ent
+		} else if ent.imageLen != g.imgLen || ent.classes != g.classes ||
+			ent.quantLo != g.quantLo || ent.quantHi != g.quantHi {
+			return fmt.Errorf("fleet: model %q registered with conflicting shape", g.name)
+		}
+		ent.hosts[w.id] = w
+		w.models[g.name] = true
+	}
+	r.workers[w.id] = w
+	r.ring.Add(w.member)
+	workersLive.Set(float64(len(r.workers)))
+	return nil
+}
+
+// readLoop routes one worker's frames: pongs feed the liveness clock,
+// results and errors complete their attempts. Any framing error kills
+// the connection.
+func (r *Router) readLoop(w *fworker) {
+	for {
+		t, p, err := w.fc.recv()
+		if err != nil {
+			r.workerDead(w, fmt.Sprintf("read: %v", err), false)
+			return
+		}
+		switch t {
+		case framePong:
+			w.lastPong.Store(time.Now().UnixNano())
+		case frameResult:
+			d := &dec{b: p}
+			res := callResult{attemptID: d.u64(), workerID: w.id}
+			res.batchSize = int(d.u32())
+			res.scores = d.f32s()
+			if d.err() != nil {
+				r.workerDead(w, "malformed result frame", false)
+				return
+			}
+			r.complete(res)
+		case frameError:
+			d := &dec{b: p}
+			res := callResult{attemptID: d.u64(), workerID: w.id}
+			res.code = d.u8()
+			res.msg = d.str()
+			if d.err() != nil || res.code == 0 {
+				r.workerDead(w, "malformed error frame", false)
+				return
+			}
+			r.complete(res)
+		default:
+			r.workerDead(w, fmt.Sprintf("unexpected %s frame", t), false)
+			return
+		}
+	}
+}
+
+// heartbeatLoop pings the worker and declares it dead when pongs stop.
+func (r *Router) heartbeatLoop(w *fworker) {
+	tick := time.NewTicker(r.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if w.dead.Load() {
+				return
+			}
+			last := time.Unix(0, w.lastPong.Load())
+			if time.Since(last) > r.cfg.HeartbeatTimeout {
+				heartbeatTimeouts.Inc()
+				r.workerDead(w, fmt.Sprintf("heartbeat timeout (%s since last pong)",
+					time.Since(last).Round(time.Millisecond)), true)
+				return
+			}
+			var e enc
+			e.u64(uint64(time.Now().UnixNano()))
+			if err := w.fc.send(framePing, e.b); err != nil {
+				r.workerDead(w, fmt.Sprintf("ping: %v", err), false)
+				return
+			}
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// workerDead removes a worker exactly once and fails its in-flight
+// attempts over to the surviving replicas — the warm-standby failover
+// path. Requests whose call is already finished are dropped; the rest
+// are re-dispatched (or failed when no untried replica remains), so a
+// killed worker costs latency, never a lost response.
+func (r *Router) workerDead(w *fworker, reason string, byHeartbeat bool) {
+	if !w.dead.CompareAndSwap(false, true) {
+		return
+	}
+	w.fc.close()
+	workersLost.Inc()
+	select {
+	case <-r.done:
+		// Shutdown teardown, not a failure; stay quiet so the log sink
+		// (t.Logf in tests) is never touched during teardown.
+	default:
+		r.logf("worker %d lost: %s", w.id, reason)
+	}
+
+	r.mu.Lock()
+	delete(r.workers, w.id)
+	r.ring.Remove(w.member)
+	for name := range w.models {
+		if ent, ok := r.catalog[name]; ok {
+			delete(ent.hosts, w.id)
+		}
+	}
+	workersLive.Set(float64(len(r.workers)))
+	var orphans []*attempt
+	for id, att := range r.attempts {
+		if att.w == w {
+			delete(r.attempts, id)
+			orphans = append(orphans, att)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, att := range orphans {
+		if att.c.finished.Load() {
+			continue
+		}
+		failovers.Inc()
+		if err := r.dispatch(att.c, true); err != nil {
+			r.deliver(att.c, callResult{code: errCodeInternal, msg: err.Error(), attemptID: att.id})
+		}
+	}
+}
+
+// complete routes one worker answer to its call. Late answers — the
+// losing side of a hedge, or a result racing a failover re-dispatch —
+// are counted and dropped, so a client never sees a duplicate.
+func (r *Router) complete(res callResult) {
+	r.mu.Lock()
+	att, ok := r.attempts[res.attemptID]
+	delete(r.attempts, res.attemptID)
+	r.mu.Unlock()
+	if !ok {
+		duplicateResults.Inc()
+		return
+	}
+	// Retryable worker errors fail over to an untried replica instead
+	// of surfacing, as long as the attempt budget holds.
+	if res.code == errCodeOverloaded || res.code == errCodeInternal {
+		if !att.c.finished.Load() {
+			if err := r.dispatch(att.c, false); err == nil {
+				return
+			}
+		}
+	}
+	if att.isHedge && res.code == 0 {
+		hedgeWins.Inc()
+	}
+	r.deliver(att.c, res)
+}
+
+// deliver finishes a call exactly once.
+func (r *Router) deliver(c *call, res callResult) {
+	if !c.finished.CompareAndSwap(false, true) {
+		duplicateResults.Inc()
+		return
+	}
+	c.done <- res
+}
+
+// dispatch sends one more attempt of c to the next untried worker in
+// the model's replica set (rotated round-robin so load spreads across
+// the set). asFailover marks re-dispatches after a worker death; both
+// paths count against MaxAttempts.
+func (r *Router) dispatch(c *call, asFailover bool) error {
+	r.mu.Lock()
+	ent, ok := r.catalog[c.model]
+	if !ok {
+		r.mu.Unlock()
+		return ErrUnknownModel
+	}
+	if c.attempts >= r.cfg.MaxAttempts {
+		r.mu.Unlock()
+		return ErrNoWorker
+	}
+	set := r.ring.Ordered(c.model, r.cfg.ReplicaSet)
+	// Rotate the preference list so consecutive requests for the same
+	// model spread across its replica set instead of hammering the
+	// primary; hedges and failovers continue down the same rotation.
+	start := int(ent.rr % uint64(max(len(set), 1)))
+	if c.attempts == 0 {
+		ent.rr++
+	}
+	var w *fworker
+	for i := 0; i < len(set); i++ {
+		member := set[(start+i)%len(set)]
+		cand := r.memberWorker(member)
+		if cand == nil || cand.dead.Load() || !cand.models[c.model] || c.tried[cand.id] {
+			continue
+		}
+		w = cand
+		break
+	}
+	if w == nil {
+		// The ring's replica set is exhausted; fall back to any live
+		// untried host of the model (the set may be smaller than the
+		// host count).
+		for _, cand := range ent.hosts {
+			if !cand.dead.Load() && !c.tried[cand.id] {
+				w = cand
+				break
+			}
+		}
+	}
+	if w == nil {
+		r.mu.Unlock()
+		return ErrNoWorker
+	}
+	c.tried[w.id] = true
+	c.attempts++
+	r.nextID++
+	att := &attempt{id: r.nextID, c: c, w: w, isHedge: c.attempts > 1 && !asFailover}
+	if c.attempts == 1 {
+		c.primaryID = att.id
+	}
+	r.attempts[att.id] = att
+	r.mu.Unlock()
+
+	var e enc
+	e.u64(att.id)
+	e.str(c.model)
+	e.u32(c.budgetMS)
+	e.f32s(c.image)
+	if err := w.fc.send(framePredict, e.b); err != nil {
+		// The death path re-dispatches this attempt to a survivor.
+		r.workerDead(w, fmt.Sprintf("send predict: %v", err), false)
+	}
+	return nil
+}
+
+// memberWorker resolves a ring member name to its live worker. Caller
+// holds r.mu.
+func (r *Router) memberWorker(member string) *fworker {
+	for _, w := range r.workers {
+		if w.member == member {
+			return w
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PredictMeta reports how a routed prediction was served.
+type PredictMeta struct {
+	// Cached is true when the response came from the response cache.
+	Cached bool
+	// Hedged is true when a second attempt was dispatched.
+	Hedged bool
+	// Attempts is the number of dispatches (0 for a cache hit).
+	Attempts int
+	// WorkerID identifies the worker that answered (0 for a cache hit).
+	WorkerID int
+	// BatchSize is the micro-batch the answer rode in (0 for a cache
+	// hit).
+	BatchSize int
+}
+
+// ModelInfo describes one registered model for the HTTP catalog.
+type ModelInfo struct {
+	// Name is the model's routing key.
+	Name string `json:"name"`
+	// Kind is the architecture the hosting workers declared.
+	Kind string `json:"kind"`
+	// Classes is the classifier width.
+	Classes int `json:"classes"`
+	// ImageLen is the flattened input size clients must send.
+	ImageLen int `json:"image_len"`
+	// Hosts is the number of live workers hosting the model.
+	Hosts int `json:"hosts"`
+}
+
+// Models lists the registered catalog, sorted by name.
+func (r *Router) Models() []ModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelInfo, 0, len(r.catalog))
+	for name, ent := range r.catalog {
+		out = append(out, ModelInfo{Name: name, Kind: ent.kind, Classes: ent.classes,
+			ImageLen: ent.imageLen, Hosts: len(ent.hosts)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Predict routes one prediction: cache lookup, bounded admission,
+// consistent-hash dispatch, hedging, failover, and cache fill. timeout
+// zero means the router default.
+func (r *Router) Predict(ctx context.Context, model string, image []float32, timeout time.Duration) ([]float32, PredictMeta, error) {
+	var meta PredictMeta
+	r.mu.Lock()
+	ent, ok := r.catalog[model]
+	if !ok {
+		r.mu.Unlock()
+		requests("unknown_model").Inc()
+		return nil, meta, ErrUnknownModel
+	}
+	imgLen, qLo, qHi := ent.imageLen, ent.quantLo, ent.quantHi
+	r.mu.Unlock()
+	if len(image) != imgLen {
+		requests("bad_request").Inc()
+		return nil, meta, fmt.Errorf("fleet: image has %d values, model %q wants %d", len(image), model, imgLen)
+	}
+	if timeout <= 0 || timeout > r.cfg.RequestTimeout {
+		timeout = r.cfg.RequestTimeout
+	}
+	start := time.Now()
+
+	var key string
+	if r.cache != nil {
+		q := QuantizeImage(nil, image, qLo, qHi)
+		key = Key(model, q)
+		if scores := r.cache.Get(key); scores != nil {
+			cacheHits.Inc()
+			requests("cached").Inc()
+			meta.Cached = true
+			r.observeLatency(model, start)
+			return scores, meta, nil
+		}
+		cacheMisses.Inc()
+		// Canonicalize: serve the grid point the key names, so every
+		// request sharing this key computes — and caches — identical
+		// bytes.
+		image = DequantizeImage(nil, q, qLo, qHi)
+	}
+
+	select {
+	case r.inflight <- struct{}{}:
+	default:
+		requests("rejected").Inc()
+		return nil, meta, ErrOverloaded
+	}
+	routerInflight.Set(float64(len(r.inflight)))
+	defer func() {
+		<-r.inflight
+		routerInflight.Set(float64(len(r.inflight)))
+	}()
+
+	c := &call{
+		done:     make(chan callResult, 1),
+		tried:    make(map[int]bool),
+		model:    model,
+		image:    image,
+		budgetMS: uint32(timeout / time.Millisecond),
+	}
+	if err := r.dispatch(c, false); err != nil {
+		requests("no_worker").Inc()
+		return nil, meta, err
+	}
+
+	overall := time.NewTimer(timeout)
+	defer overall.Stop()
+	var hedgeCh <-chan time.Time
+	if r.cfg.Hedge {
+		ht := time.NewTimer(r.hedgeDelay(model))
+		defer ht.Stop()
+		hedgeCh = ht.C
+	}
+	for {
+		select {
+		case res := <-c.done:
+			r.mu.Lock()
+			meta.Attempts = c.attempts
+			r.mu.Unlock()
+			meta.WorkerID = res.workerID
+			meta.BatchSize = res.batchSize
+			if res.code != 0 {
+				return nil, meta, r.failCall(c, res)
+			}
+			requests("completed").Inc()
+			r.observeLatency(model, start)
+			if r.cache != nil {
+				r.cache.Put(key, res.scores)
+			}
+			return res.scores, meta, nil
+		case <-hedgeCh:
+			hedgeCh = nil
+			if c.finished.Load() {
+				continue
+			}
+			if err := r.dispatch(c, false); err == nil {
+				hedges.Inc()
+				meta.Hedged = true
+			}
+		case <-ctx.Done():
+			r.abandon(c)
+			requests("canceled").Inc()
+			return nil, meta, ctx.Err()
+		case <-overall.C:
+			r.abandon(c)
+			requests("expired").Inc()
+			return nil, meta, ErrDeadlineExceeded
+		}
+	}
+}
+
+// failCall maps a terminal worker error onto the router's error set.
+func (r *Router) failCall(c *call, res callResult) error {
+	switch res.code {
+	case errCodeExpired:
+		requests("expired").Inc()
+		return ErrDeadlineExceeded
+	case errCodeOverloaded:
+		requests("rejected").Inc()
+		return ErrOverloaded
+	default:
+		requests("failed").Inc()
+		return fmt.Errorf("fleet: worker %d: %s", res.workerID, res.msg)
+	}
+}
+
+// abandon marks a call finished so late results are dropped, and
+// forgets its attempts.
+func (r *Router) abandon(c *call) {
+	c.finished.Store(true)
+	r.mu.Lock()
+	for id, att := range r.attempts {
+		if att.c == c {
+			delete(r.attempts, id)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// latWindow is a small sliding window of recent request latencies per
+// model, feeding the hedge deadline.
+type latWindow struct {
+	buf [512]float64
+	n   int
+	idx int
+}
+
+func (r *Router) observeLatency(model string, start time.Time) {
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	routerLatencyMs.Observe(ms)
+	r.latMu.Lock()
+	w, ok := r.lat[model]
+	if !ok {
+		w = &latWindow{}
+		r.lat[model] = w
+	}
+	w.buf[w.idx] = ms
+	w.idx = (w.idx + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	r.latMu.Unlock()
+}
+
+// hedgeDelay computes the hedge deadline for model from its recent
+// latency quantile: max(HedgeMin, HedgeFactor * q). With no history it
+// falls back to HedgeMin — eager hedging while the window fills is
+// harmless because the hedge only fires for requests that are already
+// slow.
+func (r *Router) hedgeDelay(model string) time.Duration {
+	r.latMu.Lock()
+	w, ok := r.lat[model]
+	var sample []float64
+	if ok && w.n > 0 {
+		sample = append(sample, w.buf[:w.n]...)
+	}
+	r.latMu.Unlock()
+	d := r.cfg.HedgeMin
+	if len(sample) > 0 {
+		sort.Float64s(sample)
+		idx := int(r.cfg.HedgeQuantile * float64(len(sample)))
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		q := time.Duration(sample[idx] * float64(time.Millisecond))
+		if hd := time.Duration(r.cfg.HedgeFactor * float64(q)); hd > d {
+			d = hd
+		}
+	}
+	return d
+}
+
+// CacheStats reports the response cache's occupancy.
+func (r *Router) CacheStats() (entries, bytes int) {
+	return r.cache.Len(), r.cache.Bytes()
+}

@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/appmult/retrain/internal/dist"
+	"github.com/appmult/retrain/internal/obs"
+	"github.com/appmult/retrain/internal/serve"
+)
+
+// WorkerConfig parameterizes NewWorker.
+type WorkerConfig struct {
+	// Router is the router's fleet TCP address.
+	Router string
+	// Models are the serve specs this worker hosts. Every model is
+	// loaded warm before the first dial, so the worker registers only
+	// capacity it can actually serve.
+	Models []serve.Spec
+	// QuantLo and QuantHi span the uint8 input grid announced to the
+	// router for response caching: the router canonicalizes cached
+	// models' inputs onto this grid before dispatch (defaults -3..3,
+	// covering the normalized image distribution).
+	QuantLo, QuantHi float32
+	// Autoscale configures the worker-local per-model replica
+	// autoscaler.
+	Autoscale AutoscaleConfig
+	// Dial is the backoff policy for failed dials and reconnects.
+	Dial dist.Backoff
+	// MaxDialAttempts gives up after this many consecutive dial
+	// failures; 0 retries forever (a restarting router picks the worker
+	// back up).
+	MaxDialAttempts int
+	// DialTimeout bounds one dial (default 3s).
+	DialTimeout time.Duration
+	// HeartbeatTimeout is the read-idle limit: the router pings well
+	// inside it, so a read stalled this long means the connection is
+	// dead (default 15s).
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	// Seed randomizes backoff jitter.
+	Seed int64
+	// Logf, when non-nil, receives progress and failure lines.
+	Logf func(format string, args ...any)
+	// WrapConn, when non-nil, wraps every dialed connection; tests use
+	// it to interpose fault injectors and targeted kills.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.QuantLo == 0 && c.QuantHi == 0 {
+		c.QuantLo, c.QuantHi = -3, 3
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 15 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+func (c WorkerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Worker hosts warm serve replicas and computes predictions for the
+// router. Build one with NewWorker, then drive it with Run.
+type Worker struct {
+	cfg    WorkerConfig
+	models map[string]*serve.Model
+	order  []string
+}
+
+// NewWorker loads every configured model into warm replicas. Loading
+// happens once, before the first dial — reconnects re-register the
+// already-warm set, which is what makes a worker restart cheap and a
+// router restart invisible.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("fleet: worker needs at least one model")
+	}
+	w := &Worker{cfg: cfg, models: make(map[string]*serve.Model, len(cfg.Models))}
+	for _, spec := range cfg.Models {
+		m, err := serve.Load(spec)
+		if err != nil {
+			return nil, err
+		}
+		name := m.Spec().Name
+		if _, dup := w.models[name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate model name %q", name)
+		}
+		w.models[name] = m
+		w.order = append(w.order, name)
+		mm := m
+		obs.Default().GaugeFunc("fleet_model_replicas",
+			"Live inference replicas per hosted model on this worker.",
+			func() float64 { return float64(mm.Replicas()) }, "model", name)
+	}
+	return w, nil
+}
+
+// Model returns a hosted model by name (nil when absent) — used by
+// tests to compare fleet answers against direct computes.
+func (w *Worker) Model(name string) *serve.Model { return w.models[name] }
+
+// Run joins the router and serves predict frames until dismissed
+// (Bye → nil return), the context is cancelled, or the dial budget is
+// exhausted. Connection loss at any other point re-enters the dial
+// loop with exponential backoff; the router re-registers the model set
+// on readmission and fails outstanding requests over to surviving
+// replicas in the meantime. Run also starts the per-model autoscalers
+// for its lifetime.
+func (w *Worker) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if w.cfg.Autoscale.Enabled {
+		for _, name := range w.order {
+			go runAutoscaler(ctx, w.models[name], w.cfg.Autoscale, w.cfg.Logf)
+		}
+	}
+	rng := rand.New(rand.NewSource(w.cfg.Seed))
+	fails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := net.DialTimeout("tcp", w.cfg.Router, w.cfg.DialTimeout)
+		if err != nil {
+			fails++
+			workerDialRetries.Inc()
+			if w.cfg.MaxDialAttempts > 0 && fails >= w.cfg.MaxDialAttempts {
+				return fmt.Errorf("fleet: dialing %s: %d attempts, last: %w", w.cfg.Router, fails, err)
+			}
+			w.cfg.logf("dial %s failed (attempt %d): %v", w.cfg.Router, fails, err)
+			if !w.cfg.Dial.Sleep(ctx, fails-1, rng) {
+				return ctx.Err()
+			}
+			continue
+		}
+		fails = 0
+		if w.cfg.WrapConn != nil {
+			conn = w.cfg.WrapConn(conn)
+		}
+		done, err := w.serveConn(ctx, conn)
+		if done {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		workerReconnects.Inc()
+		w.cfg.logf("session ended: %v; reconnecting", err)
+		if !w.cfg.Dial.Sleep(ctx, 0, rng) {
+			return ctx.Err()
+		}
+	}
+}
+
+// serveConn runs one connection's lifetime: handshake, register, then
+// serve predict frames until the stream dies or the router dismisses
+// us. done=true means dismissed.
+func (w *Worker) serveConn(ctx context.Context, conn net.Conn) (done bool, err error) {
+	fc := newFrameConn(conn, w.cfg.WriteTimeout, w.cfg.HeartbeatTimeout)
+	defer fc.close()
+	var e enc
+	e.u32(ProtocolVersion)
+	if err := fc.send(frameHello, e.b); err != nil {
+		return false, err
+	}
+	t, p, err := fc.recv()
+	if err != nil {
+		return false, err
+	}
+	if t != frameWelcome {
+		return false, fmt.Errorf("fleet: expected welcome, got %s", t)
+	}
+	d := &dec{b: p}
+	if ver := d.u32(); ver != ProtocolVersion {
+		return false, fmt.Errorf("fleet: router speaks protocol %d, want %d", ver, ProtocolVersion)
+	}
+	id := int(d.u32())
+	if err := d.err(); err != nil {
+		return false, err
+	}
+	if err := fc.send(frameRegister, w.encodeRegister()); err != nil {
+		return false, err
+	}
+	w.cfg.logf("worker %d: joined %s hosting %v", id, w.cfg.Router, w.order)
+
+	// The context watcher closes the connection so a cancelled worker
+	// unblocks even mid-read.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			fc.close()
+		case <-stop:
+		}
+	}()
+
+	for {
+		t, p, err := fc.recv()
+		if err != nil {
+			return false, err
+		}
+		switch t {
+		case framePing:
+			cp := append([]byte(nil), p...)
+			if err := fc.send(framePong, cp); err != nil {
+				return false, err
+			}
+		case framePredict:
+			req, perr := decodePredict(p)
+			if perr != nil {
+				return false, perr
+			}
+			go w.handlePredict(ctx, fc, req)
+		case frameBye:
+			w.cfg.logf("worker %d: dismissed", id)
+			return true, nil
+		default:
+			return false, fmt.Errorf("fleet: unexpected %s frame", t)
+		}
+	}
+}
+
+// encodeRegister describes the hosted model set: per model its name,
+// kind, classes, flattened input length, and the canonical quantization
+// grid for caching.
+func (w *Worker) encodeRegister() []byte {
+	var e enc
+	e.u32(uint32(len(w.order)))
+	for _, name := range w.order {
+		m := w.models[name]
+		sp := m.Spec()
+		e.str(name)
+		e.str(sp.Kind)
+		e.u32(uint32(sp.Classes))
+		e.u32(uint32(m.ImageLen()))
+		e.f32(w.cfg.QuantLo)
+		e.f32(w.cfg.QuantHi)
+	}
+	return e.b
+}
+
+// predictReq is one decoded predict frame.
+type predictReq struct {
+	id       uint64
+	model    string
+	budgetMS uint32
+	image    []float32
+}
+
+func decodePredict(p []byte) (predictReq, error) {
+	d := &dec{b: p}
+	req := predictReq{
+		id:       d.u64(),
+		model:    d.str(),
+		budgetMS: d.u32(),
+		image:    d.f32s(), // copies out of the recv buffer
+	}
+	return req, d.err()
+}
+
+// handlePredict serves one request through the model's micro-batching
+// queue and answers with a result or error frame. It runs on its own
+// goroutine: predictions for different requests batch together inside
+// serve while the frame reader keeps draining the connection.
+func (w *Worker) handlePredict(ctx context.Context, fc *frameConn, req predictReq) {
+	m, ok := w.models[req.model]
+	if !ok {
+		w.sendError(fc, req.id, errCodeBadRequest, fmt.Sprintf("unknown model %q", req.model))
+		return
+	}
+	if len(req.image) != m.ImageLen() {
+		w.sendError(fc, req.id, errCodeBadRequest,
+			fmt.Sprintf("image has %d values, model %q wants %d", len(req.image), req.model, m.ImageLen()))
+		return
+	}
+	var deadline time.Time
+	if req.budgetMS > 0 {
+		deadline = time.Now().Add(time.Duration(req.budgetMS) * time.Millisecond)
+	}
+	res := m.Batcher().Do(ctx, req.image, deadline)
+	if res.Err != nil {
+		code := uint8(errCodeInternal)
+		switch res.Err {
+		case serve.ErrOverloaded, serve.ErrDraining:
+			code = errCodeOverloaded
+		case serve.ErrDeadlineExceeded:
+			code = errCodeExpired
+		}
+		w.sendError(fc, req.id, code, res.Err.Error())
+		return
+	}
+	var e enc
+	e.u64(req.id)
+	e.u32(uint32(res.BatchSize))
+	e.f32s(res.Scores)
+	workerPredicts.Inc()
+	fc.send(frameResult, e.b) // a failed send tears the session down via the reader
+}
+
+func (w *Worker) sendError(fc *frameConn, id uint64, code uint8, msg string) {
+	var e enc
+	e.u64(id)
+	e.u8(code)
+	e.str(msg)
+	fc.send(frameError, e.b)
+}
+
+// Drain gracefully drains every hosted model's batcher.
+func (w *Worker) Drain(ctx context.Context) error {
+	var first error
+	for _, name := range w.order {
+		if err := w.models[name].Batcher().Drain(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

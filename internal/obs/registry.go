@@ -360,6 +360,55 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	return s.h
 }
 
+// ReadValue returns the current value of one counter or gauge series
+// (callback gauges are evaluated), and whether the series exists. It
+// is the programmatic read path for control loops — the fleet
+// autoscaler reads the live serve_* queue gauges through it — without
+// the cost of a full Snapshot.
+func (r *Registry) ReadValue(name string, labels ...string) (float64, bool) {
+	_, id, _ := canonLabels(name, labels)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.families[name]
+	if !ok {
+		return 0, false
+	}
+	s, ok := f.series[id]
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case s.c != nil:
+		return s.c.Value(), true
+	case s.fn != nil:
+		return s.fn(), true
+	case s.g != nil:
+		return s.g.Value(), true
+	}
+	return 0, false
+}
+
+// ReadHistogram returns a point-in-time snapshot of one histogram
+// series, and whether the series exists. Control loops use it to read
+// latency quantiles (HistogramSnapshot.Quantile) off the live
+// registry.
+func (r *Registry) ReadHistogram(name string, labels ...string) (HistogramSnapshot, bool) {
+	_, id, _ := canonLabels(name, labels)
+	r.mu.RLock()
+	f, ok := r.families[name]
+	var h *Histogram
+	if ok {
+		if s, ok2 := f.series[id]; ok2 {
+			h = s.h
+		}
+	}
+	r.mu.RUnlock()
+	if h == nil {
+		return HistogramSnapshot{}, false
+	}
+	return h.Snapshot(), true
+}
+
 // SeriesValue is one exported sample in a Snapshot: a counter or
 // gauge value, or one histogram component (_bucket/_sum/_count).
 type SeriesValue struct {

@@ -72,6 +72,10 @@ type BatcherConfig struct {
 	MaxDelay time.Duration
 	// QueueDepth bounds the admission queue (default 4*MaxBatch).
 	QueueDepth int
+	// MaxRunners bounds how many runners AddRunner may grow the pool
+	// to — the autoscaler's ceiling (default 4x the initial runner
+	// count, at least 8).
+	MaxRunners int
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -103,6 +107,11 @@ type Batcher struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// scaleMu guards the live runner count against concurrent
+	// AddRunner/RemoveRunner calls (the autoscaler and tests).
+	scaleMu  sync.Mutex
+	nrunners int
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
@@ -115,16 +124,23 @@ func NewBatcher(runners []Runner, cfg BatcherConfig, metrics *Metrics) *Batcher 
 		panic("serve: batcher needs at least one runner")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.MaxRunners < len(runners) {
+		cfg.MaxRunners = 4 * len(runners)
+		if cfg.MaxRunners < 8 {
+			cfg.MaxRunners = 8
+		}
+	}
 	if metrics == nil {
 		metrics = NewMetrics("default")
 	}
 	b := &Batcher{
-		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueDepth),
-		runners: make(chan Runner, len(runners)),
-		metrics: metrics,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		runners:  make(chan Runner, cfg.MaxRunners),
+		metrics:  metrics,
+		nrunners: len(runners),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	// Callback gauges: a new batcher for the same model (reload, test
 	// re-run) replaces the previous closure, so the series always
@@ -136,11 +152,60 @@ func NewBatcher(runners []Runner, cfg BatcherConfig, metrics *Metrics) *Batcher 
 		func() float64 { return float64(cap(b.queue)) }, "model", metrics.model)
 	reg.GaugeFunc("serve_replicas_idle", "Replicas currently parked waiting for a batch.",
 		func() float64 { return float64(len(b.runners)) }, "model", metrics.model)
+	reg.GaugeFunc("serve_replicas_live", "Replicas currently registered with the batcher (idle or computing).",
+		func() float64 { return float64(b.Runners()) }, "model", metrics.model)
 	for _, r := range runners {
 		b.runners <- r
 	}
 	go b.dispatch()
 	return b
+}
+
+// Runners returns the number of runners currently registered (idle or
+// mid-batch).
+func (b *Batcher) Runners() int {
+	b.scaleMu.Lock()
+	defer b.scaleMu.Unlock()
+	return b.nrunners
+}
+
+// AddRunner grows the dispatch pool by one runner — the autoscaler's
+// scale-up primitive. It fails once the pool holds MaxRunners or the
+// batcher is draining.
+func (b *Batcher) AddRunner(r Runner) error {
+	b.mu.RLock()
+	draining := b.draining
+	b.mu.RUnlock()
+	if draining {
+		return ErrDraining
+	}
+	b.scaleMu.Lock()
+	defer b.scaleMu.Unlock()
+	if b.nrunners >= b.cfg.MaxRunners {
+		return fmt.Errorf("serve: runner pool at its cap of %d", b.cfg.MaxRunners)
+	}
+	b.nrunners++
+	b.runners <- r
+	return nil
+}
+
+// RemoveRunner retires one idle runner from the pool — the
+// autoscaler's scale-down primitive. It reports false (and removes
+// nothing) when only one runner remains or every runner is mid-batch;
+// the caller simply retries at its next tick.
+func (b *Batcher) RemoveRunner() bool {
+	b.scaleMu.Lock()
+	defer b.scaleMu.Unlock()
+	if b.nrunners <= 1 {
+		return false
+	}
+	select {
+	case <-b.runners:
+		b.nrunners--
+		return true
+	default:
+		return false
+	}
 }
 
 // Metrics returns the batcher's metrics aggregator.
@@ -251,6 +316,24 @@ func (b *Batcher) expired(j *job) bool {
 // run executes one batch on a replica and answers every rider.
 func (b *Batcher) run(r Runner, batch []*job) {
 	defer func() { b.runners <- r }()
+	// Dispatch-time deadline sweep: gather() rejects jobs that are
+	// already expired when pulled off the queue, but a job admitted to
+	// the batch can still expire while the batch is held open for
+	// stragglers (MaxDelay). Serving it anyway would burn replica time
+	// on an answer the caller was promised would be a 504 — so expiry
+	// is re-checked at the last moment before compute, and a batch
+	// whose riders all expired never reaches the replica.
+	live := batch[:0]
+	for _, j := range batch {
+		if b.expired(j) {
+			continue
+		}
+		live = append(live, j)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	images := make([][]float32, len(batch))
 	for i, j := range batch {
 		images[i] = j.image

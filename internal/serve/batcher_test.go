@@ -315,3 +315,90 @@ func TestBatcherContextCancelledCaller(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 }
+
+func TestBatcherExpiredInOpenBatchNotDispatched(t *testing.T) {
+	// A request can be pulled into a batch while still live and then
+	// expire during the MaxDelay straggler window. It must be answered
+	// with ErrDeadlineExceeded and must never reach the replica.
+	r := &stubRunner{}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 4, MaxDelay: 80 * time.Millisecond, QueueDepth: 8}, nil)
+
+	res := b.Do(context.Background(), []float32{1}, time.Now().Add(10*time.Millisecond))
+	if !errors.Is(res.Err, ErrDeadlineExceeded) {
+		t.Fatalf("in-batch expired request got %v, want ErrDeadlineExceeded", res.Err)
+	}
+	if got := r.batchSizes(); len(got) != 0 {
+		t.Fatalf("runner served batches %v for an all-expired batch", got)
+	}
+	if st := b.Metrics().Snapshot(); st.Expired != 1 || st.Completed != 0 {
+		t.Errorf("expired=%d completed=%d, want 1/0", st.Expired, st.Completed)
+	}
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestBatcherExpiredRiderSweptLiveRiderServed(t *testing.T) {
+	// Mixed batch: the expired rider is swept at dispatch, the live one
+	// is served in a batch of one.
+	r := &stubRunner{}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 4, MaxDelay: 80 * time.Millisecond, QueueDepth: 8}, nil)
+
+	expCh := make(chan Result, 1)
+	go func() { expCh <- b.Do(context.Background(), []float32{1}, time.Now().Add(10*time.Millisecond)) }()
+	// Make sure the doomed request is first into the open batch.
+	time.Sleep(5 * time.Millisecond)
+	liveCh := make(chan Result, 1)
+	go func() { liveCh <- b.Do(context.Background(), []float32{2}, time.Time{}) }()
+
+	if res := <-expCh; !errors.Is(res.Err, ErrDeadlineExceeded) {
+		t.Fatalf("expired rider got %v, want ErrDeadlineExceeded", res.Err)
+	}
+	res := <-liveCh
+	if res.Err != nil {
+		t.Fatalf("live rider got %v, want success", res.Err)
+	}
+	if res.BatchSize != 1 {
+		t.Errorf("live rider batch size %d, want 1 (expired rider must not count)", res.BatchSize)
+	}
+	if got := r.batchSizes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("runner served batches %v, want [1]", got)
+	}
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestBatcherRunnerScaling(t *testing.T) {
+	r := &stubRunner{}
+	b := NewBatcher([]Runner{r}, BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond, QueueDepth: 4, MaxRunners: 2}, nil)
+
+	if n := b.Runners(); n != 1 {
+		t.Fatalf("initial runners = %d, want 1", n)
+	}
+	if err := b.AddRunner(&stubRunner{}); err != nil {
+		t.Fatalf("AddRunner: %v", err)
+	}
+	if err := b.AddRunner(&stubRunner{}); err == nil {
+		t.Fatal("AddRunner past MaxRunners succeeded")
+	}
+	if n := b.Runners(); n != 2 {
+		t.Fatalf("runners = %d, want 2", n)
+	}
+	if !b.RemoveRunner() {
+		t.Fatal("RemoveRunner with 2 idle runners failed")
+	}
+	if b.RemoveRunner() {
+		t.Fatal("RemoveRunner went below the floor of 1")
+	}
+	// The surviving runner still serves.
+	if res := b.Do(context.Background(), []float32{3}, time.Time{}); res.Err != nil {
+		t.Fatalf("post-scaling request: %v", res.Err)
+	}
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := b.AddRunner(&stubRunner{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("AddRunner while draining got %v, want ErrDraining", err)
+	}
+}

@@ -45,6 +45,9 @@ type Spec struct {
 	// Replicas is the number of independent model copies serving
 	// batches concurrently (default 1).
 	Replicas int `json:"replicas"`
+	// MaxReplicas bounds how far AddReplica (the fleet autoscaler) may
+	// grow the pool (default 4*Replicas, at least 8).
+	MaxReplicas int `json:"max_replicas"`
 	// MaxBatch caps the coalesced batch size (default 8).
 	MaxBatch int `json:"max_batch"`
 	// MaxDelay is the micro-batching window (default 2ms).
@@ -76,6 +79,12 @@ func (s Spec) withDefaults() Spec {
 	if s.Replicas < 1 {
 		s.Replicas = 1
 	}
+	if s.MaxReplicas < s.Replicas {
+		s.MaxReplicas = 4 * s.Replicas
+		if s.MaxReplicas < 8 {
+			s.MaxReplicas = 8
+		}
+	}
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -83,11 +92,16 @@ func (s Spec) withDefaults() Spec {
 }
 
 // Model is one servable model: a batcher over inference replicas plus
-// its metrics.
+// its metrics. The base model and op are retained so AddReplica can
+// mint further warm replicas after load — the fleet autoscaler's
+// scale-up path.
 type Model struct {
-	spec    Spec
-	batcher *Batcher
-	metrics *Metrics
+	spec     Spec
+	batcher  *Batcher
+	metrics  *Metrics
+	base     *nn.Sequential
+	op       *nn.Op
+	maxBatch int
 }
 
 // Spec returns the (defaulted) spec the model was loaded from.
@@ -140,9 +154,28 @@ func Load(spec Spec) (*Model, error) {
 		MaxBatch:   spec.MaxBatch,
 		MaxDelay:   spec.MaxDelay,
 		QueueDepth: spec.QueueDepth,
+		MaxRunners: spec.MaxReplicas,
 	}, metrics)
-	return &Model{spec: spec, batcher: b, metrics: metrics}, nil
+	return &Model{spec: spec, batcher: b, metrics: metrics,
+		base: base, op: op, maxBatch: maxBatch}, nil
 }
+
+// AddReplica builds, warms, and registers one more inference replica —
+// the scale-up primitive the fleet autoscaler drives. It fails once
+// the pool holds Spec.MaxReplicas runners or the batcher is draining.
+func (m *Model) AddReplica() error {
+	rep := &replica{model: models.Replicas(m.base, m.op, 1)[0],
+		hw: m.spec.InputHW, classes: m.spec.Classes}
+	rep.warm(m.maxBatch, m.spec.Seed)
+	return m.batcher.AddRunner(rep)
+}
+
+// RemoveReplica retires one idle replica, reporting whether one was
+// removed (false when only one remains or all are mid-batch).
+func (m *Model) RemoveReplica() bool { return m.batcher.RemoveRunner() }
+
+// Replicas returns the number of replicas currently registered.
+func (m *Model) Replicas() int { return m.batcher.Runners() }
 
 // opFor resolves a multiplier registry name (empty selects the accurate
 // 8-bit multiplier) into an approximate-product Op. Inference only runs
