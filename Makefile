@@ -51,7 +51,7 @@ benchreport:
 # doccheck enforces doc comments on every exported identifier in the
 # public-facing internal packages (see scripts/doccheck).
 doccheck:
-	go run ./scripts/doccheck ./internal/serve ./internal/nn ./internal/obs ./internal/dist ./internal/fleet ./cmd/traind ./cmd/fleetd
+	go run ./scripts/doccheck ./internal/serve ./internal/nn ./internal/obs ./internal/dist ./internal/fleet ./internal/gradient ./internal/train ./cmd/traind ./cmd/fleetd
 
 verify: vet tier1 doccheck race benchreport
 

@@ -1,9 +1,16 @@
 // Command gradviz reproduces the paper's Fig. 3: for a fixed weight
 // operand Wf it prints (a) the raw AppMult row AM(Wf, X), the smoothed
-// row S(Wf, X) (Eq. 4), and the accurate product; and (b) the
-// difference-based gradient (Eqs. 5-6) against the constant STE
-// gradient. The default arguments match the paper's illustration:
-// mul7u_rm6, Wf = 10, HWS = 4.
+// row S(Wf, X) (Eq. 4), and the accurate product; and (b) the gradient
+// row dAM/dX(Wf, ·) of every requested estimator side by side. The
+// backward rule is a pluggable gradient.GradEstimator, so panel (b)
+// accepts any estimator spec — the default "smoothdiff,ste" reproduces
+// the paper's difference-vs-STE illustration, and e.g.
+//
+//	gradviz -estimators smoothdiff,cvste,stochastic,ste
+//
+// contrasts all the implemented families on one grid. The default
+// arguments match the paper's illustration: mul7u_rm6, Wf = 10,
+// HWS = 4 (the HWS applies to estimators that consume it).
 //
 // Output is plot-ready aligned columns; pipe to a file and plot with
 // any tool.
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"github.com/appmult/retrain/internal/appmult"
 	"github.com/appmult/retrain/internal/bitutil"
@@ -27,7 +35,8 @@ func main() {
 	var (
 		mult = flag.String("mult", "mul7u_rm6", "approximate multiplier name")
 		wf   = flag.Uint("wf", 10, "fixed weight operand Wf")
-		hws  = flag.Int("hws", 4, "half window size for smoothing")
+		hws  = flag.Int("hws", 4, "half window size for smoothing (estimators that consume it)")
+		ests = flag.String("estimators", "smoothdiff,ste", "comma-separated gradient-estimator specs for panel (b)")
 	)
 	flag.Parse()
 
@@ -43,13 +52,29 @@ func main() {
 	if *hws < 1 || *hws > gradient.MaxHWS(bits) {
 		log.Fatalf("HWS %d outside [1,%d]", *hws, gradient.MaxHWS(bits))
 	}
+	var specs []string
+	var estimators []gradient.GradEstimator
+	for _, part := range strings.Split(*ests, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		est, err := gradient.ParseEstimator(part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, part)
+		estimators = append(estimators, est)
+	}
+	if len(estimators) == 0 {
+		log.Fatal("need at least one estimator spec")
+	}
 
 	row := make([]uint32, n)
 	for x := range row {
 		row[x] = e.Mult.Mul(uint32(*wf), uint32(x))
 	}
 	smoothed, lo, hi := gradient.SmoothRow(row, *hws)
-	grad := gradient.DifferenceRow(row, *hws)
 
 	fa := report.NewSeries(
 		fmt.Sprintf("Fig. 3(a): %s, Wf=%d, HWS=%d — AppMult vs smoothed vs accurate", *mult, *wf, *hws),
@@ -64,11 +89,24 @@ func main() {
 	fa.WriteText(os.Stdout)
 	fmt.Println()
 
+	// Panel (b): one dAM/dX(Wf, ·) column per estimator, read from the
+	// exact tables the backward kernels would consume.
+	info := gradient.MulInfo{Name: e.Mult.Name(), Bits: bits, HWS: *hws, Mul: e.Mult.Mul}
+	grads := make([]*gradient.Tables, len(estimators))
+	for i, est := range estimators {
+		grads[i] = est.Tables(info)
+	}
 	fb := report.NewSeries(
-		"Fig. 3(b): difference-based gradient vs STE gradient",
-		"X", "diff-grad", "STE-grad")
+		fmt.Sprintf("Fig. 3(b): dAM/dX(Wf,·) per gradient estimator (%s)", strings.Join(specs, " vs ")),
+		append([]string{"X"}, specs...)...)
 	for x := 0; x < n; x++ {
-		fb.Add(float64(x), grad[x], float64(*wf))
+		cells := make([]float64, 0, len(grads)+1)
+		cells = append(cells, float64(x))
+		for _, g := range grads {
+			_, dx := g.At(uint32(*wf), uint32(x))
+			cells = append(cells, float64(dx))
+		}
+		fb.Add(cells...)
 	}
 	fb.WriteText(os.Stdout)
 }

@@ -1,11 +1,19 @@
-// Command sweephws reproduces the paper's half-window-size selection
-// protocol (Section V-A, Table I last column): for each candidate HWS
-// it trains a small LeNet for a few epochs with the difference-based
-// gradient and reports the final training loss; the HWS minimizing the
-// loss is selected.
+// Command sweephws sweeps the backward-pass configuration of one
+// approximate multiplier over an estimator×HWS grid and reports the
+// final training loss of a short LeNet run per cell (the paper's
+// Section V-A selection protocol, generalized from its original
+// HWS-only axis now that the backward rule is a pluggable
+// gradient.GradEstimator).
+//
+// A bare "smoothdiff" estimator sweeps the -candidates HWS list (the
+// half window size is its tuning knob; Table I, last column); every
+// other estimator spec — ste, cvste, stochastic(seed=7), rawdiff, or
+// an explicitly pinned smoothdiff(hws=8) — contributes a single grid
+// cell. The cell minimizing the loss is selected.
 //
 //	sweephws -mult mul7u_rm6
 //	sweephws -mult mul8u_2NDH -candidates 1,2,4,8,16,32,64
+//	sweephws -mult mul7u_rm6 -estimators smoothdiff,cvste,stochastic
 package main
 
 import (
@@ -13,11 +21,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
 	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/gradient"
 	"github.com/appmult/retrain/internal/report"
 	"github.com/appmult/retrain/internal/train"
 )
@@ -27,7 +35,8 @@ func main() {
 	log.SetPrefix("sweephws: ")
 	var (
 		mult  = flag.String("mult", "mul7u_rm6", "approximate multiplier name")
-		cand  = flag.String("candidates", "1,2,4,8,16,32,64", "comma-separated HWS candidates")
+		cand  = flag.String("candidates", "1,2,4,8,16,32,64", "comma-separated HWS candidates for the smoothdiff axis")
+		ests  = flag.String("estimators", "smoothdiff", "comma-separated gradient-estimator specs to sweep (ste|smoothdiff|cvste|stochastic|rawdiff, with optional parameters)")
 		scale = flag.String("scale", "reduced", "experiment scale: paper|reduced|small|tiny")
 		seed  = flag.Int64("seed", 1, "experiment seed")
 	)
@@ -45,6 +54,17 @@ func main() {
 		}
 		candidates = append(candidates, v)
 	}
+	var specs []string
+	for _, part := range strings.Split(*ests, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := gradient.ParseEstimator(part); err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, part)
+	}
 	sc, err := train.ScaleByName(*scale)
 	if err != nil {
 		log.Fatal(err)
@@ -53,22 +73,26 @@ func main() {
 		sc.Epochs = 5 // the paper trains 5 epochs per candidate
 	}
 
-	best, losses := train.SelectHWS(e.Mult, candidates, 10, sc, *seed, log.Printf)
+	cells := train.SweepEstimators(e.Mult, specs, candidates, 10, sc, *seed, log.Printf)
+	best := train.BestCell(cells)
 	t := report.NewTable(
-		fmt.Sprintf("HWS selection for %s (LeNet, %d epochs per candidate)", *mult, sc.Epochs),
-		"HWS", "final train loss", "selected")
-	keys := make([]int, 0, len(losses))
-	for k := range losses {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	for _, k := range keys {
+		fmt.Sprintf("Estimator×HWS sweep for %s (LeNet, %d epochs per cell)", *mult, sc.Epochs),
+		"estimator", "HWS", "final train loss", "selected")
+	for _, c := range cells {
+		hws := "-"
+		if c.HWS > 0 {
+			hws = fmt.Sprint(c.HWS)
+		}
 		sel := ""
-		if k == best {
+		if c == best {
 			sel = "<=="
 		}
-		t.AddRow(fmt.Sprint(k), fmt.Sprintf("%.4f", losses[k]), sel)
+		t.AddRow(c.Spec, hws, fmt.Sprintf("%.4f", c.Loss), sel)
 	}
 	t.WriteText(os.Stdout)
-	fmt.Printf("\nselected HWS: %d (paper selected %d)\n", best, e.HWS)
+	if best.HWS > 0 {
+		fmt.Printf("\nselected: %s at HWS %d (paper selected HWS %d)\n", best.Spec, best.HWS, e.HWS)
+	} else {
+		fmt.Printf("\nselected: %s (paper selected smoothdiff at HWS %d)\n", best.Spec, e.HWS)
+	}
 }

@@ -19,6 +19,11 @@ $BIN/ablate -which smoothing -scale tiny -mult mul7u_rm6 > experiments/ablation_
 $BIN/ablate -which boundary -scale tiny -mult mul7u_rm6 > experiments/ablation_boundary.txt
 $BIN/sweephws -mult mul6u_rm4 -scale tiny > experiments/hws_mul6u_rm4.txt
 
+# Estimator comparison matrix: one retraining leg per GradEstimator
+# across the full registry (see docs/gradient-estimators.md).
+$BIN/retrain -all -models lenet -scale tiny -shards 2 \
+  -estimator smoothdiff,cvste,stochastic > experiments/estimator_matrix.txt
+
 # Table II, VGG19 half (14 rows; cut -mults for a subset).
 $BIN/retrain -all -models vgg19 -scale small > experiments/table2_vgg19_small.txt
 

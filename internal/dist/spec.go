@@ -5,6 +5,7 @@ import (
 
 	"github.com/appmult/retrain/internal/appmult"
 	"github.com/appmult/retrain/internal/data"
+	"github.com/appmult/retrain/internal/gradient"
 	"github.com/appmult/retrain/internal/models"
 	"github.com/appmult/retrain/internal/nn"
 	"github.com/appmult/retrain/internal/train"
@@ -21,8 +22,10 @@ type Spec struct {
 	Model string
 	// Mult names the approximate multiplier (see appmult.Names).
 	Mult string
-	// Estimator is the gradient estimator: "ste", "ours" (the paper's
-	// difference method), or "rawdiff".
+	// Estimator is the gradient-estimator spec (see
+	// gradient.ParseEstimator): "ste", "smoothdiff", "cvste",
+	// "stochastic(seed=7)", "rawdiff", ... The historical aliases
+	// "ours" and "difference" still mean "smoothdiff".
 	Estimator string
 	// Scale names the experiment scale: paper|reduced|small|tiny.
 	Scale string
@@ -39,18 +42,22 @@ type Spec struct {
 	SliceRows int
 }
 
-// EstimatorByName parses a Spec.Estimator value.
-func EstimatorByName(name string) (train.Estimator, error) {
+// CanonicalEstimator resolves a Spec.Estimator value to the estimator
+// spec the GradEstimator seam understands, translating the historical
+// wire aliases ("ours"/"difference" mean "smoothdiff") and validating
+// the result. Coordinator and workers both canonicalize, so mixed-age
+// nodes agree on the estimator a job trains under.
+func CanonicalEstimator(name string) (string, error) {
 	switch name {
-	case "ste":
-		return train.EstimatorSTE, nil
+	case "":
+		return gradient.EstSTE, nil
 	case "ours", "difference":
-		return train.EstimatorDifference, nil
-	case "rawdiff":
-		return train.EstimatorRawDifference, nil
-	default:
-		return 0, fmt.Errorf("dist: unknown estimator %q (ste|ours|rawdiff)", name)
+		return gradient.EstSmoothDiff, nil
 	}
+	if _, err := gradient.ParseEstimator(name); err != nil {
+		return "", fmt.Errorf("dist: %w", err)
+	}
+	return name, nil
 }
 
 // Build constructs the model and resolves the effective scale for the
@@ -72,11 +79,14 @@ func (s Spec) Build() (*nn.Sequential, train.Scale, error) {
 	if !ok {
 		return nil, train.Scale{}, fmt.Errorf("dist: unknown multiplier %q", s.Mult)
 	}
-	est, err := EstimatorByName(s.Estimator)
+	spec, err := CanonicalEstimator(s.Estimator)
 	if err != nil {
 		return nil, train.Scale{}, err
 	}
-	op := train.OpFor(entry.Mult, est, entry.HWS)
+	op, err := train.OpForSpec(entry, spec)
+	if err != nil {
+		return nil, train.Scale{}, err
+	}
 	classes := s.Classes
 	if classes < 1 {
 		classes = 10

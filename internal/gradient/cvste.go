@@ -1,0 +1,82 @@
+package gradient
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+// ControlVariateSTE is the control-variate-corrected straight-through
+// estimator (Zervakis et al., arXiv 2412.16757) realized as a
+// GradEstimator. Write the AppMult as the accurate product plus its
+// error, AM(w, x) = w*x + eps(w, x). STE keeps only the accurate
+// term's gradient (dAM/dX = w); CVSTE adds the mean slope of the error
+// along the varying operand:
+//
+//	dAM/dX (w, ·) = w + cX(w),  cX(w) = mean_x [eps(w, x+1) - eps(w, x)]
+//
+// The mean of first differences telescopes, so the correction is the
+// exact integer quantity
+//
+//	cX(w) = (eps(w, N-1) - eps(w, 0)) / (N-1),  N = 2^B,
+//
+// and symmetrically cW(x) for dAM/dW. The correction is constant per
+// row/column — a per-operand bias on top of STE — so it smooths over
+// stair plateaus like smoothdiff does, at O(2^B) build cost instead of
+// O(2^(2B)) row scans.
+type ControlVariateSTE struct{}
+
+// Name returns "cvste".
+func (ControlVariateSTE) Name() string { return EstCVSTE }
+
+// Describe returns "cvste" (the estimator has no parameters).
+func (ControlVariateSTE) Describe() string { return EstCVSTE }
+
+// Tables builds the STE tables plus the per-row/column mean-error
+// correction. All intermediate error arithmetic is exact in int64, so
+// the tables are bit-reproducible across hosts.
+func (e ControlVariateSTE) Tables(m MulInfo) *Tables {
+	bitutil.CheckWidth(m.Bits)
+	nv := bitutil.NumInputs(m.Bits)
+	t := &Tables{
+		Name:      fmt.Sprintf("%s/cvste", m.Name),
+		Estimator: EstCVSTE,
+		Bits:      m.Bits,
+		DW:        make([]float32, bitutil.NumPairs(m.Bits)),
+		DX:        make([]float32, bitutil.NumPairs(m.Bits)),
+	}
+	cx := make([]float64, nv) // cX(w): correction to dAM/dX on row w
+	cw := make([]float64, nv) // cW(x): correction to dAM/dW on column x
+	for w := 0; w < nv; w++ {
+		cx[w] = meanErrorSlope(m.Mul, uint32(w), nv, false)
+	}
+	for x := 0; x < nv; x++ {
+		cw[x] = meanErrorSlope(m.Mul, uint32(x), nv, true)
+	}
+	for w := 0; w < nv; w++ {
+		for x := 0; x < nv; x++ {
+			idx := bitutil.PairIndex(uint32(w), uint32(x), m.Bits)
+			t.DW[idx] = float32(float64(x) + cw[x])
+			t.DX[idx] = float32(float64(w) + cx[w])
+		}
+	}
+	return t
+}
+
+// meanErrorSlope computes the telescoped mean first difference of the
+// multiplier error eps = AM - accurate along one row (fixed w, varying
+// x) or, when transpose is set, one column (fixed x, varying w). The
+// endpoints are evaluated exactly in int64 before the single division.
+func meanErrorSlope(mul MulFunc, fixed uint32, nv int, transpose bool) float64 {
+	last := uint32(nv - 1)
+	eps := func(v uint32) int64 {
+		var am uint32
+		if transpose {
+			am = mul(v, fixed)
+		} else {
+			am = mul(fixed, v)
+		}
+		return int64(am) - int64(fixed)*int64(v)
+	}
+	return float64(eps(last)-eps(0)) / float64(nv-1)
+}

@@ -1,0 +1,138 @@
+package gradient
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+)
+
+// updateGolden regenerates testdata/smoothdiff_golden.json from the
+// current builder output: go test ./internal/gradient -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite the smoothdiff golden file")
+
+// goldenSample pins the exact float32 bits of one table entry.
+type goldenSample struct {
+	W      uint32 `json:"w"`
+	X      uint32 `json:"x"`
+	DWBits uint32 `json:"dw_bits"`
+	DXBits uint32 `json:"dx_bits"`
+}
+
+// goldenEntry pins one multiplier's full smoothdiff tables: a CRC32
+// over every DW then DX entry's little-endian float32 bits, plus a few
+// spot samples so a checksum mismatch points somewhere concrete.
+type goldenEntry struct {
+	Mult    string         `json:"mult"`
+	Bits    int            `json:"bits"`
+	HWS     int            `json:"hws"`
+	CRC32   uint32         `json:"crc32"`
+	Samples []goldenSample `json:"samples"`
+}
+
+// goldenMults are the registry multipliers whose smoothdiff tables the
+// golden file pins, at their registry-selected HWS (one per bit width
+// in the registry: 6, 7 and 8 bits).
+var goldenMults = []string{"mul6u_rm4", "mul7u_rm6", "mul8u_2NDH"}
+
+// goldenSamplePoints are the (w, x) spot checks recorded per table.
+var goldenSamplePoints = [][2]uint32{{0, 0}, {1, 3}, {10, 40}, {31, 31}}
+
+func tablesCRC(tb *Tables) uint32 {
+	h := crc32.NewIEEE()
+	var b [4]byte
+	for _, v := range tb.DW {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		h.Write(b[:])
+	}
+	for _, v := range tb.DX {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum32()
+}
+
+func buildGolden(t *testing.T) []goldenEntry {
+	t.Helper()
+	var out []goldenEntry
+	for _, name := range goldenMults {
+		e, ok := appmult.Lookup(name)
+		if !ok {
+			t.Fatalf("registry lost %s", name)
+		}
+		info := MulInfo{Name: e.Mult.Name(), Bits: e.Mult.Bits(), HWS: e.HWS, Mul: e.Mult.Mul}
+		tb := SmoothDiff{}.Tables(info)
+		ge := goldenEntry{Mult: name, Bits: tb.Bits, HWS: tb.HWS, CRC32: tablesCRC(tb)}
+		for _, p := range goldenSamplePoints {
+			dw, dx := tb.At(p[0], p[1])
+			ge.Samples = append(ge.Samples, goldenSample{
+				W: p[0], X: p[1],
+				DWBits: math.Float32bits(dw),
+				DXBits: math.Float32bits(dx),
+			})
+		}
+		out = append(out, ge)
+	}
+	return out
+}
+
+// TestSmoothDiffGolden is the bit-identity regression for the default
+// estimator: the smoothdiff tables of three registry multipliers (one
+// per bit width) must match the committed golden checksums and spot
+// samples bit for bit. Any change to smoothing, differencing, boundary
+// handling, or table layout trips this test; if the change is an
+// intentional semantic break, regenerate with -update and say so in
+// the commit.
+func TestSmoothDiffGolden(t *testing.T) {
+	path := filepath.Join("testdata", "smoothdiff_golden.json")
+	got := buildGolden(t)
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", path)
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, builder produced %d", len(want), len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Mult != w.Mult || g.Bits != w.Bits || g.HWS != w.HWS {
+			t.Errorf("%s: metadata drift: got {%s %d-bit hws=%d}, want {%s %d-bit hws=%d}",
+				w.Mult, g.Mult, g.Bits, g.HWS, w.Mult, w.Bits, w.HWS)
+			continue
+		}
+		for j, s := range w.Samples {
+			gs := g.Samples[j]
+			if gs.DWBits != s.DWBits || gs.DXBits != s.DXBits {
+				t.Errorf("%s: sample (%d,%d) drifted: DW %08x->%08x DX %08x->%08x",
+					w.Mult, s.W, s.X, s.DWBits, gs.DWBits, s.DXBits, gs.DXBits)
+			}
+		}
+		if g.CRC32 != w.CRC32 {
+			t.Errorf("%s: table checksum drifted: %08x, golden %08x", w.Mult, g.CRC32, w.CRC32)
+		}
+	}
+}

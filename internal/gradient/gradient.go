@@ -16,6 +16,15 @@
 // The gradient w.r.t. W is obtained symmetrically on columns. Both
 // gradients are precomputed for every operand pair into LUTs, matching
 // the paper's CUDA-kernel LUT design.
+//
+// The backward rule is pluggable: the GradEstimator interface selects
+// among the paper's smoothed difference (SmoothDiff, the default), the
+// STE baseline (STEEstimator), a control-variate-corrected STE
+// (ControlVariateSTE), seeded secant sampling (Stochastic), and the
+// unsmoothed ablation (RawDiff); ParseEstimator maps spec strings like
+// "smoothdiff(hws=8)" or "stochastic(seed=7)" to estimators. The math
+// of every estimator, the serialized table layout, and a walkthrough
+// for adding a new one are in docs/gradient-estimators.md.
 package gradient
 
 import (
@@ -100,6 +109,10 @@ func DifferenceRow(row []uint32, hws int) []float64 {
 type Tables struct {
 	// Name records the source multiplier and estimator, for reports.
 	Name string
+	// Estimator is the registry key of the estimator family that built
+	// the tables (EstSmoothDiff, EstSTE, ... or "custom" for FromFunc),
+	// recorded in run metadata and metric labels.
+	Estimator string
 	// Bits is the operand width.
 	Bits int
 	// HWS is the half window size used (0 for STE tables).
@@ -131,11 +144,12 @@ func Difference(name string, bits, hws int, mul MulFunc) *Tables {
 	}
 	nv := bitutil.NumInputs(bits)
 	t := &Tables{
-		Name: fmt.Sprintf("%s/diff(hws=%d)", name, hws),
-		Bits: bits,
-		HWS:  hws,
-		DW:   make([]float32, bitutil.NumPairs(bits)),
-		DX:   make([]float32, bitutil.NumPairs(bits)),
+		Name:      fmt.Sprintf("%s/diff(hws=%d)", name, hws),
+		Estimator: EstSmoothDiff,
+		Bits:      bits,
+		HWS:       hws,
+		DW:        make([]float32, bitutil.NumPairs(bits)),
+		DX:        make([]float32, bitutil.NumPairs(bits)),
 	}
 	row := make([]uint32, nv)
 	// dAM/dX: fix W, vary X along a row.
@@ -169,10 +183,11 @@ func STE(bits int) *Tables {
 	bitutil.CheckWidth(bits)
 	nv := bitutil.NumInputs(bits)
 	t := &Tables{
-		Name: fmt.Sprintf("mul%du/ste", bits),
-		Bits: bits,
-		DW:   make([]float32, bitutil.NumPairs(bits)),
-		DX:   make([]float32, bitutil.NumPairs(bits)),
+		Name:      fmt.Sprintf("mul%du/ste", bits),
+		Estimator: EstSTE,
+		Bits:      bits,
+		DW:        make([]float32, bitutil.NumPairs(bits)),
+		DX:        make([]float32, bitutil.NumPairs(bits)),
 	}
 	for w := 0; w < nv; w++ {
 		for x := 0; x < nv; x++ {
@@ -193,10 +208,11 @@ func FromFunc(name string, bits int, f GradFunc) *Tables {
 	bitutil.CheckWidth(bits)
 	nv := bitutil.NumInputs(bits)
 	t := &Tables{
-		Name: name,
-		Bits: bits,
-		DW:   make([]float32, bitutil.NumPairs(bits)),
-		DX:   make([]float32, bitutil.NumPairs(bits)),
+		Name:      name,
+		Estimator: "custom",
+		Bits:      bits,
+		DW:        make([]float32, bitutil.NumPairs(bits)),
+		DX:        make([]float32, bitutil.NumPairs(bits)),
 	}
 	for w := 0; w < nv; w++ {
 		for x := 0; x < nv; x++ {
@@ -219,10 +235,11 @@ func RawDifference(name string, bits int, mul MulFunc) *Tables {
 	bitutil.CheckWidth(bits)
 	nv := bitutil.NumInputs(bits)
 	t := &Tables{
-		Name: fmt.Sprintf("%s/rawdiff", name),
-		Bits: bits,
-		DW:   make([]float32, bitutil.NumPairs(bits)),
-		DX:   make([]float32, bitutil.NumPairs(bits)),
+		Name:      fmt.Sprintf("%s/rawdiff", name),
+		Estimator: EstRawDiff,
+		Bits:      bits,
+		DW:        make([]float32, bitutil.NumPairs(bits)),
+		DX:        make([]float32, bitutil.NumPairs(bits)),
 	}
 	rawRow := func(row []uint32) []float64 {
 		n := len(row)

@@ -1,0 +1,164 @@
+package gradient
+
+import (
+	"fmt"
+
+	"github.com/appmult/retrain/internal/bitutil"
+)
+
+// Default sampling parameters for the Stochastic estimator (used when
+// the corresponding field is zero).
+const (
+	// DefaultStochasticSamples is the number of difference-quotient
+	// samples averaged per operand pair.
+	DefaultStochasticSamples = 4
+	// DefaultStochasticRadius is the largest random offset d drawn for
+	// a sampled quotient (AM(x+d) - AM(x-d)) / (2d).
+	DefaultStochasticRadius = 4
+)
+
+// Stochastic is the seeded stochastic difference-quotient estimator
+// realized as a GradEstimator. Instead of smoothing the whole row
+// (smoothdiff) or correcting a constant bias (cvste), it estimates the
+// slope at each operand pair by averaging K secant slopes at random
+// radii:
+//
+//	g(x) ≈ (1/K) Σ_k [AM(x1_k) - AM(x0_k)] / (x1_k - x0_k),
+//	x0_k = max(0, x-d_k), x1_k = min(N-1, x+d_k), d_k ∈ [1, Radius]
+//
+// drawn from a counter-based hash RNG keyed on (Seed, w, x, k), so the
+// tables are a pure function of (multiplier, parameters): the build is
+// order-independent, bit-identical on every host, and therefore safe
+// under sharded and distributed retraining. Degenerate pairs where the
+// clamped secant collapses (x0 == x1, impossible for N > 1) fall back
+// to the Eq. (6) boundary value range/2^B.
+type Stochastic struct {
+	// Seed keys the hash RNG; runs with equal seeds produce
+	// bit-identical tables.
+	Seed int64
+	// Samples is the number of secant slopes averaged per pair
+	// (DefaultStochasticSamples when <= 0).
+	Samples int
+	// Radius bounds the random secant half width (clamped to the
+	// operand range; DefaultStochasticRadius when <= 0).
+	Radius int
+}
+
+// Name returns "stochastic".
+func (Stochastic) Name() string { return EstStochastic }
+
+// Describe returns the full parameterization, e.g.
+// "stochastic(seed=1,samples=4,radius=4)".
+func (e Stochastic) Describe() string {
+	return fmt.Sprintf("%s(seed=%d,samples=%d,radius=%d)",
+		EstStochastic, e.Seed, e.effSamples(), e.effRadius())
+}
+
+func (e Stochastic) effSamples() int {
+	if e.Samples <= 0 {
+		return DefaultStochasticSamples
+	}
+	return e.Samples
+}
+
+func (e Stochastic) effRadius() int {
+	if e.Radius <= 0 {
+		return DefaultStochasticRadius
+	}
+	return e.Radius
+}
+
+// Tables builds the sampled-quotient tables for one multiplier.
+func (e Stochastic) Tables(m MulInfo) *Tables {
+	bitutil.CheckWidth(m.Bits)
+	nv := bitutil.NumInputs(m.Bits)
+	samples, radius := e.effSamples(), e.effRadius()
+	if radius > nv-1 {
+		radius = nv - 1
+	}
+	t := &Tables{
+		Name:      fmt.Sprintf("%s/%s", m.Name, e.Describe()),
+		Estimator: EstStochastic,
+		Bits:      m.Bits,
+		HWS:       0,
+		DW:        make([]float32, bitutil.NumPairs(m.Bits)),
+		DX:        make([]float32, bitutil.NumPairs(m.Bits)),
+	}
+	row := make([]uint32, nv)
+	// dAM/dX: fix W, vary X along a row; axis tag 0 keys the RNG so
+	// the DX and DW draws are independent streams.
+	for w := 0; w < nv; w++ {
+		for x := 0; x < nv; x++ {
+			row[x] = m.Mul(uint32(w), uint32(x))
+		}
+		for x := 0; x < nv; x++ {
+			g := e.sampleSlope(row, x, uint64(w), uint64(x), 0, samples, radius)
+			t.DX[bitutil.PairIndex(uint32(w), uint32(x), m.Bits)] = float32(g)
+		}
+	}
+	// dAM/dW: fix X, vary W along a column; axis tag 1.
+	for x := 0; x < nv; x++ {
+		for w := 0; w < nv; w++ {
+			row[w] = m.Mul(uint32(w), uint32(x))
+		}
+		for w := 0; w < nv; w++ {
+			g := e.sampleSlope(row, w, uint64(w), uint64(x), 1, samples, radius)
+			t.DW[bitutil.PairIndex(uint32(w), uint32(x), m.Bits)] = float32(g)
+		}
+	}
+	return t
+}
+
+// sampleSlope averages K clamped secant slopes of one row at position
+// i, drawing radii from the counter-based RNG keyed on
+// (Seed, w, x, axis, k).
+func (e Stochastic) sampleSlope(row []uint32, i int, w, x, axis uint64, samples, radius int) float64 {
+	n := len(row)
+	var sum float64
+	for k := 0; k < samples; k++ {
+		key := uint64(e.Seed)
+		key = splitmix64(key ^ 0x9e3779b97f4a7c15*w)
+		key = splitmix64(key ^ 0xbf58476d1ce4e5b9*x)
+		key = splitmix64(key ^ axis<<32 ^ uint64(k))
+		d := 1 + int(key%uint64(radius))
+		x0, x1 := i-d, i+d
+		if x0 < 0 {
+			x0 = 0
+		}
+		if x1 > n-1 {
+			x1 = n - 1
+		}
+		if x1 == x0 {
+			// Row of length 1 cannot happen (CheckWidth enforces
+			// B >= 2), but keep the Eq. (6)-style fallback defensive.
+			mn, mx := rowRange(row)
+			sum += float64(mx-mn) / float64(n)
+			continue
+		}
+		sum += (float64(row[x1]) - float64(row[x0])) / float64(x1-x0)
+	}
+	return sum / float64(samples)
+}
+
+// rowRange returns the min and max of a row.
+func rowRange(row []uint32) (mn, mx uint32) {
+	mn, mx = row[0], row[0]
+	for _, v := range row[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality counter-based
+// mixing function used as the estimator's stateless RNG.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

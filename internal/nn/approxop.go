@@ -104,6 +104,23 @@ func DifferenceOp(m appmult.Multiplier, hws int) *Op {
 	return NewOp(m, gradient.Difference(m.Name(), m.Bits(), hws, m.Mul))
 }
 
+// EstimatorOp builds an operator by asking a pluggable GradEstimator
+// to synthesize the gradient tables for the multiplier. hws is the
+// registry-selected half window size passed through to estimators that
+// consume it (gradient.SmoothDiff without an explicit override); other
+// estimators ignore it. This is the seam cmd/retrain, cmd/sweephws and
+// the distributed training spec all build their Ops through.
+func EstimatorOp(m appmult.Multiplier, est gradient.GradEstimator, hws int) *Op {
+	op := NewOp(m, est.Tables(gradient.MulInfo{
+		Name: m.Name(),
+		Bits: m.Bits(),
+		HWS:  hws,
+		Mul:  m.Mul,
+	}))
+	noteEstimatorOp(est.Name())
+	return op
+}
+
 // BehavioralOp builds an operator that simulates the multiplier
 // behaviourally in the forward pass instead of through a precomputed
 // LUT — the other mainstream AppMult simulation style the paper cites

@@ -28,6 +28,9 @@ import (
 // that skips backward-only work. Layers without it fall back to
 // Forward(x, false), which is always equivalent.
 type Inferer interface {
+	// Infer runs the layer forward in inference mode; it must produce
+	// the same outputs as Forward(x, false) without touching backward
+	// scratch.
 	Infer(x *tensor.Tensor) *tensor.Tensor
 }
 

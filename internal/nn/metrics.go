@@ -39,6 +39,16 @@ var (
 		"kernel", "backward", "path", "ref")
 )
 
+// noteEstimatorOp counts one EstimatorOp construction per estimator
+// family. The label value is runtime data (the estimator registry
+// key), so the counter is resolved through the registry's get-or-create
+// path instead of a package-level var per value.
+func noteEstimatorOp(estimator string) {
+	obs.Default().Counter("nn_estimator_ops_total",
+		"Approximate operators built via the GradEstimator seam, by estimator.",
+		"estimator", estimator).Inc()
+}
+
 // scratchBytes tracks the bytes currently held by every buffer sized
 // through grow — the KernelScratch arenas and the pooled forward
 // tiles. grow adds the delta when it reallocates, so the gauge follows

@@ -39,6 +39,8 @@ var (
 // concurrency comes from registering several runners with the Batcher
 // (see models.Replicas).
 type Runner interface {
+	// Run scores one coalesced batch, returning a score vector per
+	// image in order, or an error that fails every request in it.
 	Run(images [][]float32) ([][]float32, error)
 }
 

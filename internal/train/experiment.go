@@ -101,20 +101,21 @@ func (e Estimator) String() string {
 // hws values below 1 (the registry's "not applicable" marker on
 // accurate multipliers) fall back to 1, where the difference gradient
 // coincides with STE on a linear row.
+//
+// The enum predates the gradient.GradEstimator seam and is kept for
+// the callers that enumerate the paper's original comparison; it now
+// delegates to the corresponding estimator implementations (the tables
+// are bit-identical either way). New code should prefer OpForSpec.
 func OpFor(m appmult.Multiplier, e Estimator, hws int) *nn.Op {
-	if hws < 1 {
-		hws = 1
-	}
-	if max := gradient.MaxHWS(m.Bits()); hws > max {
-		hws = max
-	}
 	switch e {
 	case EstimatorSTE:
-		return nn.STEOp(m)
+		return nn.EstimatorOp(m, gradient.STEEstimator{}, hws)
 	case EstimatorDifference:
-		return nn.DifferenceOp(m, hws)
+		// SmoothDiff applies the same [1, MaxHWS] clamp this function
+		// historically did.
+		return nn.EstimatorOp(m, gradient.SmoothDiff{}, hws)
 	case EstimatorRawDifference:
-		return nn.NewOp(m, gradient.RawDifference(m.Name(), m.Bits(), m.Mul))
+		return nn.EstimatorOp(m, gradient.RawDiff{}, hws)
 	default:
 		panic("train: unknown estimator")
 	}
@@ -132,7 +133,12 @@ type CompareResult struct {
 	// InitialTop1 is the AppMult model's accuracy with QAT weights,
 	// before AppMult-aware retraining.
 	InitialTop1 float64
-	// STE and Ours are the full retraining trajectories.
+	// Legs holds every retrained estimator leg, in the normalized
+	// CompareOptions.Estimators order (the "ste" baseline first).
+	Legs []EstimatorLeg
+	// STE and Ours are the paper's original two trajectories, kept as
+	// convenient aliases into Legs: STE is the baseline leg, Ours the
+	// first non-baseline leg (whatever estimator it trained under).
 	STE, Ours Result
 	// Improve is Ours.FinalTop1() - STE.FinalTop1().
 	Improve float64
@@ -157,6 +163,11 @@ type CompareOptions struct {
 	// gradient-slice granularity that keeps sharded results
 	// bit-identical across shard counts (0 = DefaultSliceRows).
 	SliceRows int
+	// Estimators lists the gradient-estimator specs to retrain with,
+	// normalized by NormalizeEstimators: empty selects the repository
+	// default {ste, smoothdiff} — exactly the paper's two legs — and
+	// the "ste" baseline always runs (first) so Improve is defined.
+	Estimators []string
 }
 
 // config derives the phase Config for a checkpoint file name.
@@ -187,6 +198,7 @@ func CompareGradientsOpts(multName, modelKind string, classes int, sc Scale, see
 	if !ok {
 		panic(fmt.Sprintf("train: unknown multiplier %q", multName))
 	}
+	legs := mustPlanLegs(opt.Estimators)
 	trainSet, testSet := data.Synthetic(data.SynthConfig{
 		Classes: classes, Train: sc.Train, Test: sc.Test, HW: sc.HW, Seed: seed,
 	})
@@ -198,31 +210,15 @@ func CompareGradientsOpts(multName, modelKind string, classes int, sc Scale, see
 	if logf != nil {
 		logf("[%s/%s] QAT reference training", multName, modelKind)
 	}
-	refRes := Run(ref, trainSet, testSet, opt.config(cfg, fmt.Sprintf("ref_%s_%dbit", modelKind, entry.Mult.Bits())))
+	refCfg := opt.config(cfg, fmt.Sprintf("ref_%s_%dbit", modelKind, entry.Mult.Bits()))
+	refCfg.Estimator = gradient.EstSTE
+	refRes := Run(ref, trainSet, testSet, refCfg)
 
-	retrain := func(est Estimator) (Result, float64) {
-		op := OpFor(entry.Mult, est, entry.HWS)
-		m := BuildModel(modelKind, classes, sc, models.ApproxConv(op), seed)
-		nn.CopyParams(m, ref)
-		initial, _ := Evaluate(m, testSet, sc.BatchSize)
-		if logf != nil {
-			logf("[%s/%s] retraining with %s (initial %.2f%%)", multName, modelKind, est, initial)
-		}
-		res := Run(m, trainSet, testSet, opt.config(cfg, fmt.Sprintf("%s_%s_%s", modelKind, multName, est)))
-		return res, initial
+	out := make([]EstimatorLeg, 0, len(legs))
+	for _, lp := range legs {
+		out = append(out, runLeg(lp, entry, modelKind, classes, sc, seed, ref, trainSet, testSet, cfg, opt, logf))
 	}
-	steRes, initial := retrain(EstimatorSTE)
-	oursRes, _ := retrain(EstimatorDifference)
-
-	return CompareResult{
-		Multiplier:  multName,
-		Model:       modelKind,
-		RefTop1:     refRes.FinalTop1(),
-		InitialTop1: initial,
-		STE:         steRes,
-		Ours:        oursRes,
-		Improve:     oursRes.FinalTop1() - steRes.FinalTop1(),
-	}
+	return assembleCompare(multName, modelKind, refRes.FinalTop1(), out)
 }
 
 // SelectHWS reproduces the paper's half-window-size selection: for
@@ -293,6 +289,7 @@ func TableII(multNames, modelKinds []string, classes int, sc Scale, seed int64, 
 // shared with CompareGradientsOpts, so a killed sweep resumes row by
 // row (finished rows replay from their checkpoints).
 func TableIIOpts(multNames, modelKinds []string, classes int, sc Scale, seed int64, logf func(string, ...any), opt CompareOptions) []CompareResult {
+	legs := mustPlanLegs(opt.Estimators)
 	trainSet, testSet := data.Synthetic(data.SynthConfig{
 		Classes: classes, Train: sc.Train, Test: sc.Test, HW: sc.HW, Seed: seed,
 	})
@@ -313,7 +310,9 @@ func TableIIOpts(multNames, modelKinds []string, classes int, sc Scale, seed int
 		}
 		accOp := nn.STEOp(appmult.NewAccurate(bits))
 		m := BuildModel(model, classes, sc, models.ApproxConv(accOp), seed)
-		res := Run(m, trainSet, testSet, opt.config(cfg, fmt.Sprintf("ref_%s_%dbit", model, bits)))
+		refCfg := opt.config(cfg, fmt.Sprintf("ref_%s_%dbit", model, bits))
+		refCfg.Estimator = gradient.EstSTE
+		res := Run(m, trainSet, testSet, refCfg)
 		r := &refEntry{model: m, top1: res.FinalTop1()}
 		refs[k] = r
 		return r
@@ -327,27 +326,11 @@ func TableIIOpts(multNames, modelKinds []string, classes int, sc Scale, seed int
 				panic(fmt.Sprintf("train: unknown multiplier %q", mn))
 			}
 			ref := getRef(mk, entry.Mult.Bits())
-			retrain := func(est Estimator) (Result, float64) {
-				op := OpFor(entry.Mult, est, entry.HWS)
-				m := BuildModel(mk, classes, sc, models.ApproxConv(op), seed)
-				nn.CopyParams(m, ref.model)
-				initial, _ := Evaluate(m, testSet, sc.BatchSize)
-				if logf != nil {
-					logf("[%s/%s] retraining with %s (initial %.2f%%)", mn, mk, est, initial)
-				}
-				return Run(m, trainSet, testSet, opt.config(cfg, fmt.Sprintf("%s_%s_%s", mk, mn, est))), initial
+			row := make([]EstimatorLeg, 0, len(legs))
+			for _, lp := range legs {
+				row = append(row, runLeg(lp, entry, mk, classes, sc, seed, ref.model, trainSet, testSet, cfg, opt, logf))
 			}
-			steRes, initial := retrain(EstimatorSTE)
-			oursRes, _ := retrain(EstimatorDifference)
-			out = append(out, CompareResult{
-				Multiplier:  mn,
-				Model:       mk,
-				RefTop1:     ref.top1,
-				InitialTop1: initial,
-				STE:         steRes,
-				Ours:        oursRes,
-				Improve:     oursRes.FinalTop1() - steRes.FinalTop1(),
-			})
+			out = append(out, assembleCompare(mn, mk, ref.top1, row))
 			if logf != nil {
 				last := out[len(out)-1]
 				logf("[%s/%s] done: init %.2f ste %.2f ours %.2f improve %.2f",

@@ -67,3 +67,16 @@ var (
 	shardBusySeconds = obs.Default().Counter("train_shard_busy_seconds_total",
 		"Cumulative shard-worker busy time (concurrent forward/backward/harvest, summed over replicas).")
 )
+
+// noteRun counts one Run invocation per gradient-estimator label. The
+// label value is runtime data (whatever Config.Estimator carries), so
+// the counter goes through the registry's get-or-create path rather
+// than a package var per estimator.
+func noteRun(estimator string) {
+	if estimator == "" {
+		estimator = "unspecified"
+	}
+	obs.Default().Counter("train_runs_total",
+		"Training runs started, by gradient-estimator label.",
+		"estimator", estimator).Inc()
+}

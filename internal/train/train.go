@@ -52,6 +52,13 @@ type Config struct {
 	Seed int64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Estimator labels the run with the gradient-estimator registry key
+	// it trains under (gradient.EstSmoothDiff, ...). It does not change
+	// the training math — the estimator is baked into the model's Ops —
+	// but it is recorded in the train_runs_total metric and in the
+	// checkpoint's run-metadata sidecar for provenance. Empty runs are
+	// labeled "unspecified".
+	Estimator string
 
 	// Shards selects data-parallel sharded training when >= 1: each
 	// step splits the minibatch across Shards model replicas and
@@ -174,6 +181,15 @@ func (r Result) FinalLoss() float64 {
 func Run(model nn.Layer, trainSet, testSet *data.Dataset, cfg Config) Result {
 	if cfg.Epochs < 1 || cfg.BatchSize < 1 {
 		panic(fmt.Sprintf("train: invalid config %+v", cfg))
+	}
+	noteRun(cfg.Estimator)
+	if cfg.CkptPath != "" {
+		// TRCKPv1-adjacent run metadata: a JSON sidecar next to the
+		// binary checkpoint records what this run trained, most notably
+		// the estimator label, without touching the TRCKPv1 format.
+		if err := writeRunMeta(cfg); err != nil {
+			cfg.logf("run metadata: %v", err)
+		}
 	}
 	opt := optim.NewAdam()
 	sched := cfg.schedule()

@@ -7,7 +7,10 @@
 //	go run ./scripts/doccheck ./internal/serve ./internal/nn
 //
 // Test files are exempt. Methods count: an exported method on any
-// receiver needs a comment. Grouped declarations accept either a
+// receiver needs a comment, and so does every exported method listed
+// in an exported interface (the interface is the contract — its method
+// set is where implementers read the semantics, e.g. every
+// gradient.GradEstimator method). Grouped declarations accept either a
 // comment on the group or one on the individual spec.
 package main
 
@@ -125,6 +128,9 @@ func checkFile(f *ast.File, pos func(ast.Node) string) []string {
 						probs = append(probs, fmt.Sprintf("%s: exported type %s has no doc comment",
 							pos(s), s.Name.Name))
 					}
+					if s.Name.IsExported() {
+						probs = append(probs, checkInterface(s, pos)...)
+					}
 				case *ast.ValueSpec:
 					if d.Doc != nil || s.Doc != nil {
 						continue
@@ -136,6 +142,29 @@ func checkFile(f *ast.File, pos func(ast.Node) string) []string {
 						}
 					}
 				}
+			}
+		}
+	}
+	return probs
+}
+
+// checkInterface requires a doc comment on every exported method of an
+// exported interface type. Embedded interfaces (no Names) are skipped:
+// their methods are documented at their own declaration site.
+func checkInterface(s *ast.TypeSpec, pos func(ast.Node) string) []string {
+	iface, ok := s.Type.(*ast.InterfaceType)
+	if !ok || iface.Methods == nil {
+		return nil
+	}
+	var probs []string
+	for _, m := range iface.Methods.List {
+		if len(m.Names) == 0 || m.Doc != nil {
+			continue
+		}
+		for _, name := range m.Names {
+			if name.IsExported() {
+				probs = append(probs, fmt.Sprintf("%s: interface %s: method %s has no doc comment",
+					pos(m), s.Name.Name, name.Name))
 			}
 		}
 	}
