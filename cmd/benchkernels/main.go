@@ -2,11 +2,14 @@
 // records the results as a machine-readable baseline. It benchmarks
 // the dispatching forward kernel (the training hot path, on whatever
 // tier it auto-selects), each forward tier forced individually
-// (closed-form arith, packed-uint16 LUT), the preserved reference
-// kernels, and an ApproxConv2D forward+backward step end-to-end, then
-// writes ns/op, B/op, and allocs/op per benchmark — plus the dispatch
-// path each forward benchmark actually took and tier-vs-tier speedup
-// summaries — to a JSON file.
+// (closed-form arith, packed-uint16 LUT), the dispatching backward
+// kernel on both table families (general tables → fused gather, STE's
+// affine tables → gather-free affine) plus a forced-fused row on the
+// affine op, the preserved reference kernels, and an ApproxConv2D
+// forward+backward step end-to-end, then writes ns/op, B/op, and
+// allocs/op per benchmark — plus the dispatch path each forward and
+// backward benchmark actually took and tier-vs-tier speedup summaries
+// — to a JSON file.
 //
 // The committed BENCH_kernels.json at the repository root is the
 // current baseline; `make bench` re-measures, diffs against it with
@@ -52,9 +55,10 @@ type record struct {
 	Multiplier string             `json:"multiplier"`
 	Shape      string             `json:"shape"`
 	Benchmarks map[string]result  `json:"benchmarks"`
-	// Paths records the forward dispatch tier each forward benchmark
+	// Paths records the dispatch tier each forward or backward benchmark
 	// actually ran on (host-dependent: the arith tier needs AVX2, so a
-	// forced-arith row can legitimately fall back elsewhere).
+	// forced-arith row can legitimately fall back elsewhere; forced
+	// backward rows likewise fall back when the op lacks the tier).
 	Paths    map[string]string  `json:"paths"`
 	Speedups map[string]float64 `json:"speedups"`
 }
@@ -79,6 +83,10 @@ func main() {
 		os.Exit(1)
 	}
 	op := nn.DifferenceOp(e.Mult, 6)
+	// STE's gradient tables are verified row-affine, so this op reaches
+	// the backward affine tier; the difference op above exercises the
+	// fused gather tier.
+	steOp := nn.STEOp(e.Mult)
 
 	rng := rand.New(rand.NewSource(42))
 	xq := make([]uint8, rows*k)
@@ -119,37 +127,50 @@ func main() {
 			op.ForwardGEMM(&s, dst, xq, wq, rows, outC, k, pw, px, bias)
 		}
 	}
+	bwd := func(bop *nn.Op) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bop.BackwardGEMM(&s, dw, dx, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
+			}
+		}
+	}
 	// Each entry is one benchmark row; tier forces ForwardGEMM onto a
-	// specific dispatch path for that row ("" = auto/not a forward
-	// bench). Forced rows fall back to the auto choice when the host or
-	// op cannot provide the tier — the recorded path makes that visible.
+	// specific dispatch path for that row, bwdTier likewise for
+	// BackwardGEMM on bwdOp ("" = auto). Forced rows fall back to the
+	// auto choice when the host or op cannot provide the tier — the
+	// recorded path makes that visible.
 	benches := []struct {
-		name string
-		tier string
-		fn   func(b *testing.B)
+		name    string
+		tier    string
+		bwdOp   *nn.Op
+		bwdTier string
+		fn      func(b *testing.B)
 	}{
-		{"Kernel_GEMMForwardBlocked", "", fwd},
-		{"Kernel_GEMMForwardArith", nn.FwdPathArith, fwd},
-		{"Kernel_GEMMForwardPacked16", nn.FwdPathPacked16, fwd},
-		{"Kernel_GEMMForwardRef", "", func(b *testing.B) {
+		{"Kernel_GEMMForwardBlocked", "", nil, "", fwd},
+		{"Kernel_GEMMForwardArith", nn.FwdPathArith, nil, "", fwd},
+		{"Kernel_GEMMForwardPacked16", nn.FwdPathPacked16, nil, "", fwd},
+		{"Kernel_GEMMForwardRef", "", nil, "", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.ForwardGEMMRef(xq, wq, rows, outC, k, pw, px, bias)
 			}
 		}},
-		{"Kernel_GEMMBackwardBlocked", "", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				op.BackwardGEMM(&s, dw, dx, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
-			}
-		}},
-		{"Kernel_GEMMBackwardRef", "", func(b *testing.B) {
+		// The general-table backward (difference estimator, auto → fused)
+		// keeps its historical name: "blocked" was the tier's PR 2 label.
+		{"Kernel_GEMMBackwardBlocked", "", op, "", bwd(op)},
+		// The affine-family backward (STE, auto → affine) and the same op
+		// forced onto the fused gather kernels — the affine-vs-gather gap
+		// on identical operands.
+		{"Kernel_GEMMBackwardAffine", "", steOp, "", bwd(steOp)},
+		{"Kernel_GEMMBackwardFusedForced", "", steOp, nn.BwdPathFused, bwd(steOp)},
+		{"Kernel_GEMMBackwardRef", "", nil, "", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.BackwardGEMMRef(dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
 			}
 		}},
-		{"Layer_ApproxConvStep", "", func(b *testing.B) {
+		{"Layer_ApproxConvStep", "", nil, "", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				layer.Forward(x, true)
@@ -173,8 +194,14 @@ func main() {
 			path = op.ForwardPath(rows, k)
 			rec.Paths[bm.name] = path
 		}
+		if bm.bwdOp != nil {
+			nn.SetBackwardTierOverride(bm.bwdTier)
+			path = bm.bwdOp.BackwardPath(outC, k)
+			rec.Paths[bm.name] = path
+		}
 		r := testing.Benchmark(bm.fn)
 		nn.SetForwardTierOverride("")
+		nn.SetBackwardTierOverride("")
 		rec.Benchmarks[bm.name] = result{
 			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesOp:  r.AllocedBytesPerOp(),
@@ -194,9 +221,12 @@ func main() {
 		rec.Benchmarks["Kernel_GEMMForwardArith"].NsOp
 	rec.Speedups["backward_blocked_vs_ref"] = rec.Benchmarks["Kernel_GEMMBackwardRef"].NsOp /
 		rec.Benchmarks["Kernel_GEMMBackwardBlocked"].NsOp
+	rec.Speedups["backward_affine_vs_ref"] = rec.Benchmarks["Kernel_GEMMBackwardRef"].NsOp /
+		rec.Benchmarks["Kernel_GEMMBackwardAffine"].NsOp
 	fmt.Printf("forward  dispatch vs ref:     %.2fx\n", rec.Speedups["forward_blocked_vs_ref"])
 	fmt.Printf("forward  arith vs packed16:   %.2fx\n", rec.Speedups["forward_arith_vs_packed16"])
-	fmt.Printf("backward blocked vs ref:      %.2fx\n", rec.Speedups["backward_blocked_vs_ref"])
+	fmt.Printf("backward fused vs ref:        %.2fx\n", rec.Speedups["backward_blocked_vs_ref"])
+	fmt.Printf("backward affine vs ref:       %.2fx\n", rec.Speedups["backward_affine_vs_ref"])
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -1,0 +1,85 @@
+package gradient
+
+import (
+	"math"
+	"sync"
+)
+
+// Affinity metadata: some estimator families produce gradient tables
+// whose rows are exact affine functions of the opposing operand level
+// (STE's DW row is literally float32(x); cvste's DX row is constant per
+// w). The backward kernels in internal/nn exploit that structure to
+// replace every table gather with two dense float ops, but only when
+// the replacement is provably bit-identical — so the detector below
+// verifies the reconstruction entry by entry with Float32bits equality,
+// the same synthesize-and-verify discipline as the forward arith tier.
+
+// Affine holds the coefficients of one exactly-affine table row:
+// row[x] == float32(A*float32(x)) + B for every level x, verified
+// bitwise. The two-step expression (rounded multiply, then rounded add,
+// no FMA contraction) is the contract consumers must evaluate.
+type Affine struct {
+	// A is the slope per operand level.
+	A float32
+	// B is the row value at level zero.
+	B float32
+}
+
+// rowAffine tests one table row for exact affinity. The candidate is
+// synthesized from the first two entries (A = row[1]-row[0], B =
+// row[0]) and then verified over the whole row with bitwise equality,
+// so a true result is a proof, not a heuristic.
+func rowAffine(row []float32) (Affine, bool) {
+	a := row[1] - row[0]
+	b := row[0]
+	for x, v := range row {
+		rec := float32(a*float32(x)) + b
+		if math.Float32bits(rec) != math.Float32bits(v) {
+			return Affine{}, false
+		}
+	}
+	return Affine{A: a, B: b}, true
+}
+
+// RowAffinity tests every w-major row of a (2^bits x 2^bits) gradient
+// table (DW or DX layout, indexed by bitutil.PairIndex) for exact
+// affinity in the varying x level. It returns one Affine per row and
+// true only when every row verified; any non-affine row disables the
+// whole table (nil, false), because the kernels dispatch per table, not
+// per row.
+func RowAffinity(tab []float32, bits int) ([]Affine, bool) {
+	n := 1 << uint(bits)
+	if n < 2 || len(tab) < n*n {
+		return nil, false
+	}
+	out := make([]Affine, n)
+	for w := 0; w < n; w++ {
+		af, ok := rowAffine(tab[w*n : (w+1)*n])
+		if !ok {
+			return nil, false
+		}
+		out[w] = af
+	}
+	return out, true
+}
+
+// affinity caches the per-table RowAffinity results; built lazily by
+// Tables.Affinity because most Tables consumers never ask.
+type affinity struct {
+	once   sync.Once
+	dw, dx []Affine
+}
+
+// Affinity reports the exact row-affine structure of the tables: one
+// Affine per weight level for DW and for DX, or nil for a table with
+// any non-affine row. Computed once and cached; safe for concurrent
+// use. STE tables return both; cvste returns DX only (its DW rows
+// carry the per-column correction cW(x), which is not affine in x);
+// difference-family tables generally return neither.
+func (t *Tables) Affinity() (dw, dx []Affine) {
+	t.aff.once.Do(func() {
+		t.aff.dw, _ = RowAffinity(t.DW, t.Bits)
+		t.aff.dx, _ = RowAffinity(t.DX, t.Bits)
+	})
+	return t.aff.dw, t.aff.dx
+}

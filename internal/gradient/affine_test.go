@@ -1,0 +1,98 @@
+package gradient
+
+import (
+	"math"
+	"testing"
+)
+
+// synthAffineTable builds a (2^bits x 2^bits) table whose w-major rows
+// are constructed with the exact consumer expression
+// float32(a*float32(x)) + b, so RowAffinity must accept it.
+func synthAffineTable(bits int, a, b func(w int) float32) []float32 {
+	n := 1 << uint(bits)
+	tab := make([]float32, n*n)
+	for w := 0; w < n; w++ {
+		aw, bw := a(w), b(w)
+		for x := 0; x < n; x++ {
+			tab[w*n+x] = float32(aw*float32(x)) + bw
+		}
+	}
+	return tab
+}
+
+// TestRowAffinityAccepts: a table synthesized with the contract
+// expression verifies, and the recovered coefficients reproduce every
+// entry bitwise.
+func TestRowAffinityAccepts(t *testing.T) {
+	const bits = 4
+	a := func(w int) float32 { return 0.125*float32(w) - 0.5 }
+	b := func(w int) float32 { return float32(w) * 0.25 }
+	tab := synthAffineTable(bits, a, b)
+	aff, ok := RowAffinity(tab, bits)
+	if !ok {
+		t.Fatal("exactly-affine table rejected")
+	}
+	n := 1 << bits
+	for w := 0; w < n; w++ {
+		for x := 0; x < n; x++ {
+			rec := float32(aff[w].A*float32(x)) + aff[w].B
+			if math.Float32bits(rec) != math.Float32bits(tab[w*n+x]) {
+				t.Fatalf("coefficients for row %d do not reproduce entry %d: %v vs %v",
+					w, x, rec, tab[w*n+x])
+			}
+		}
+	}
+}
+
+// TestRowAffinityRejectsULP: perturbing a single entry by one ULP must
+// disable the whole table — the detector is a bitwise proof, not a
+// tolerance check.
+func TestRowAffinityRejectsULP(t *testing.T) {
+	const bits = 4
+	tab := synthAffineTable(bits, func(w int) float32 { return 1 }, func(w int) float32 { return float32(w) })
+	i := 3*(1<<bits) + 7
+	tab[i] = math.Nextafter32(tab[i], float32(math.Inf(1)))
+	if aff, ok := RowAffinity(tab, bits); ok || aff != nil {
+		t.Fatal("table with a one-ULP perturbation accepted")
+	}
+}
+
+// TestRowAffinityRejectsNonAffine: a quadratic row is not affine.
+func TestRowAffinityRejectsNonAffine(t *testing.T) {
+	const bits = 4
+	n := 1 << bits
+	tab := synthAffineTable(bits, func(w int) float32 { return 1 }, func(w int) float32 { return 0 })
+	for x := 0; x < n; x++ {
+		tab[5*n+x] = float32(x) * float32(x)
+	}
+	if _, ok := RowAffinity(tab, bits); ok {
+		t.Fatal("table with a quadratic row accepted")
+	}
+}
+
+// TestTablesAffinityByFamily pins which estimator families expose the
+// affine structure the backward tiers key on: STE both tables, cvste on
+// an approximate multiplier DX only, smoothdiff on an approximate
+// multiplier neither.
+func TestTablesAffinityByFamily(t *testing.T) {
+	mul := func(w, x uint32) uint32 { return (w * x) &^ 0x1F } // crude truncation: non-affine errors
+	info := MulInfo{Name: "trunc7", Bits: 7, HWS: 2, Mul: mul}
+
+	dw, dx := STE(7).Affinity()
+	if dw == nil || dx == nil {
+		t.Fatal("STE tables must be affine on both DW and DX")
+	}
+
+	dw, dx = ControlVariateSTE{}.Tables(info).Affinity()
+	if dw != nil {
+		t.Fatal("cvste DW carries the per-column correction; must not verify as affine")
+	}
+	if dx == nil {
+		t.Fatal("cvste DX is constant per row; must verify as affine")
+	}
+
+	dw, dx = (SmoothDiff{}).Tables(info).Affinity()
+	if dw != nil || dx != nil {
+		t.Fatal("smoothdiff tables on an approximate multiplier must not verify as affine")
+	}
+}

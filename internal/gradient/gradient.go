@@ -121,6 +121,9 @@ type Tables struct {
 	DW []float32
 	// DX[idx] approximates dAM/dX at the pair (w, x).
 	DX []float32
+
+	// aff caches the verified row-affinity metadata (see Affinity).
+	aff affinity
 }
 
 // At returns (dAM/dW, dAM/dX) at an operand pair.

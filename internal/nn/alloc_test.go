@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/appmult/retrain/internal/appmult"
+	"github.com/appmult/retrain/internal/tensor"
+)
+
+// TestApproxConvStepNoSteadyStateAllocs pins the conv layer's
+// steady-state step at zero heap allocations. Every per-step buffer
+// lives in the layer's arena and every pool dispatch goes through a
+// RangeRunner held in scratch state (kernels_runners.go), so after the
+// first step has grown the buffers, Forward+Backward must not allocate
+// at all. The assertion is exact only when the shared worker pool runs
+// inline (one worker): the pooled path allocates one job header per
+// dispatch by design, so on multi-proc hosts the test is skipped rather
+// than encoding a worker-count-dependent bound.
+func TestApproxConvStepNoSteadyStateAllocs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) != 1 {
+		t.Skip("exact alloc count requires the inline pool (GOMAXPROCS=1)")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; exact count holds only without -race")
+	}
+	e, ok := appmult.Lookup("mul7u_rm6")
+	if !ok {
+		t.Fatal("mul7u_rm6 missing")
+	}
+	// Both backward families: STE reaches the affine tier, the
+	// difference estimator the fused gather tier.
+	ops := map[string]*Op{
+		"affine": STEOp(e.Mult),
+		"fused":  DifferenceOp(e.Mult, 6),
+	}
+	for name, op := range ops {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			layer := NewApproxConv2D("alloc", 16, 32, 3, 1, 1, op, rng)
+			x := tensor.New(4, 16, 16, 16)
+			x.RandNormal(rng, 1)
+			y := layer.Forward(x, true)
+			dy := tensor.New(y.Shape...)
+			dy.RandNormal(rng, 1)
+			// Warm the arena, the op's padded tables, and the tile pool.
+			for i := 0; i < 3; i++ {
+				layer.Forward(x, true)
+				layer.Backward(dy)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				layer.Forward(x, true)
+				layer.Backward(dy)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state conv step allocates %.1f times per step, want 0", allocs)
+			}
+		})
+	}
+}

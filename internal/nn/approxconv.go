@@ -53,6 +53,8 @@ type ApproxConv2D struct {
 	// Scratch arena (see KernelScratch): buffers sized on first use,
 	// reused every step.
 	ks     KernelScratch
+	im2col tensor.Im2ColJob
+	col2im tensor.Col2ImJob
 	cols   *tensor.Tensor
 	flat   *tensor.Tensor
 	y      *tensor.Tensor
@@ -128,25 +130,25 @@ func (c *ApproxConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			mn, mx := minMax(ws)
 			p := quant.Calibrate(mn, mx, c.op.Bits)
 			c.pw[oc] = p
-			quantizeWithClipInto(c.wq[oc*k:(oc+1)*k], c.wClip[oc*k:(oc+1)*k], ws, p)
+			c.ks.quantizeWithClip(c.wq[oc*k:(oc+1)*k], c.wClip[oc*k:(oc+1)*k], ws, p)
 		}
 	} else {
 		p := quant.CalibrateTensor(c.Weight.Value, c.op.Bits)
 		c.pw = grow(c.pw, 1)
 		c.pw[0] = p
-		quantizeWithClipInto(c.wq, c.wClip, c.Weight.Value.Data, p)
+		c.ks.quantizeWithClip(c.wq, c.wClip, c.Weight.Value.Data, p)
 	}
 
 	rows := c.batch * g.OutH * g.OutW
-	c.cols = tensor.Ensure(c.cols, rows, k)
-	tensor.Im2ColInto(c.cols, x, g)
+	c.cols = tensor.Ensure2(c.cols, rows, k)
+	c.im2col.Run(c.cols, x, g)
 	c.xq = grow(c.xq, rows*k)
 	c.xClip = grow(c.xClip, rows*k)
-	quantizeWithClipInto(c.xq, c.xClip, c.cols.Data, c.px)
+	c.ks.quantizeWithClip(c.xq, c.xClip, c.cols.Data, c.px)
 
-	c.flat = tensor.Ensure(c.flat, rows, c.OutC)
+	c.flat = tensor.Ensure2(c.flat, rows, c.OutC)
 	c.op.ForwardGEMM(&c.ks, c.flat.Data, c.xq, c.wq, rows, c.OutC, k, c.pw, c.px, c.Bias.Value.Data)
-	c.y = tensor.Ensure(c.y, c.batch, g.OutC, g.OutH, g.OutW)
+	c.y = tensor.Ensure4(c.y, c.batch, g.OutC, g.OutH, g.OutW)
 	rowsToNCHWInto(c.y, c.flat, c.batch, g)
 	return c.y
 }
@@ -157,12 +159,12 @@ func (c *ApproxConv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
 	rows := c.batch * g.OutH * g.OutW
 	k := g.K()
-	c.dyFlat = tensor.Ensure(c.dyFlat, rows, c.OutC)
+	c.dyFlat = tensor.Ensure2(c.dyFlat, rows, c.OutC)
 	nchwToRowsInto(c.dyFlat, dy, g)
 
 	c.dw = grow(c.dw, c.OutC*k)
 	c.gsum = grow(c.gsum, c.OutC)
-	c.dxcols = tensor.Ensure(c.dxcols, rows, k)
+	c.dxcols = tensor.Ensure2(c.dxcols, rows, k)
 	c.op.BackwardGEMM(&c.ks, c.dw, c.dxcols.Data, c.gsum, c.dyFlat.Data,
 		c.xq, c.wq, c.xClip, c.wClip, rows, c.OutC, k, c.pw, c.px)
 
@@ -174,7 +176,7 @@ func (c *ApproxConv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for oc, v := range c.gsum {
 		c.Bias.Grad.Data[oc] += v
 	}
-	c.dx = tensor.Ensure(c.dx, c.batch, g.InC, g.InH, g.InW)
-	tensor.Col2ImInto(c.dx, c.dxcols, c.batch, g)
+	c.dx = tensor.Ensure4(c.dx, c.batch, g.InC, g.InH, g.InW)
+	c.col2im.Run(c.dx, c.dxcols, c.batch, g)
 	return c.dx
 }

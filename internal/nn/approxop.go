@@ -54,6 +54,15 @@ type Op struct {
 	comp uint32
 	// arith is the verified closed-form tier, nil when unavailable.
 	arith *arithForm
+
+	// dwAff/dxAff are the verified per-weight-level affine coefficients
+	// of the gradient tables (gradient.RowAffinity over DW/DX), nil when
+	// the corresponding table has any non-affine row. They gate the
+	// backward affine/mixed tiers (kernels_backward.go): like the arith
+	// tier, the structure is synthesized and verified bitwise, so the
+	// tier is bit-exact or silently absent.
+	dwAff []gradient.Affine
+	dxAff []gradient.Affine
 }
 
 // maskedMultiplier is the structural hook the arith tier keys on: a
@@ -193,6 +202,7 @@ func (op *Op) ensurePadded() {
 				copy(op.gwPad[w*padStride:w*padStride+n], op.Grads.DW[w*n:(w+1)*n])
 				copy(op.gxPad[w*padStride:w*padStride+n], op.Grads.DX[w*n:(w+1)*n])
 			}
+			op.dwAff, op.dxAff = op.Grads.Affinity()
 		}
 	})
 }

@@ -60,17 +60,17 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.geom = g
 	c.batch = x.Shape[0]
 	rows := c.batch * g.OutH * g.OutW
-	c.cols = tensor.Ensure(c.cols, rows, g.K())
+	c.cols = tensor.Ensure2(c.cols, rows, g.K())
 	tensor.Im2ColInto(c.cols, x, g)
 	w2 := c.Weight.Value.Reshape(c.OutC, g.K())
-	c.flat = tensor.Ensure(c.flat, rows, c.OutC)
+	c.flat = tensor.Ensure2(c.flat, rows, c.OutC)
 	tensor.MatMulTransBInto(c.flat, c.cols, w2)
 	for r := 0; r < rows; r++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			c.flat.Data[r*c.OutC+oc] += c.Bias.Value.Data[oc]
 		}
 	}
-	c.y = tensor.Ensure(c.y, c.batch, g.OutC, g.OutH, g.OutW)
+	c.y = tensor.Ensure4(c.y, c.batch, g.OutC, g.OutH, g.OutW)
 	rowsToNCHWInto(c.y, c.flat, c.batch, g)
 	return c.y
 }
@@ -80,10 +80,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
 	rows := c.batch * g.OutH * g.OutW
-	c.dyFlat = tensor.Ensure(c.dyFlat, rows, c.OutC)
+	c.dyFlat = tensor.Ensure2(c.dyFlat, rows, c.OutC)
 	nchwToRowsInto(c.dyFlat, dy, g)
 	// Weight gradient: dW = dyFlatᵀ (outC x rows) * cols (rows x K).
-	c.dwFlat = tensor.Ensure(c.dwFlat, c.OutC, g.K())
+	c.dwFlat = tensor.Ensure2(c.dwFlat, c.OutC, g.K())
 	tensor.MatMulTransAInto(c.dwFlat, c.dyFlat, c.cols)
 	for i, v := range c.dwFlat.Data {
 		c.Weight.Grad.Data[i] += v
@@ -96,9 +96,9 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	// Input gradient.
 	w2 := c.Weight.Value.Reshape(c.OutC, g.K())
-	c.dcols = tensor.Ensure(c.dcols, rows, g.K())
+	c.dcols = tensor.Ensure2(c.dcols, rows, g.K())
 	tensor.MatMulInto(c.dcols, c.dyFlat, w2)
-	c.dx = tensor.Ensure(c.dx, c.batch, g.InC, g.InH, g.InW)
+	c.dx = tensor.Ensure4(c.dx, c.batch, g.InC, g.InH, g.InW)
 	tensor.Col2ImInto(c.dx, c.dcols, c.batch, g)
 	return c.dx
 }

@@ -1,0 +1,52 @@
+//go:build amd64
+
+package nn
+
+// Go-side contracts for the AVX2 backward-tier kernels in
+// gemm_bwd_amd64.s (see kernels_backward.go for the dispatch and the
+// bit-exactness argument). All four are gated on the same hasGemmAsm
+// detection as the forward arith kernels and preserve the reference
+// accumulation orders exactly: SIMD lanes always map to independent
+// destinations (k columns for dW, rows for dX), never to summation
+// terms, and every float operation is a separately rounded VMULPS /
+// VADDPS / VSUBPS — no FMA contraction.
+
+// bwdAffineDWAVX2 accumulates, for one output channel,
+//
+//	dw[i] = sum_{r<rows} dyc[r] * ((aRow[i]*x(r,i) + bRow[i]) - zx)
+//
+// over i in [0, kBlk) in blocks of 16 columns, r ascending, where
+// x(r,i) = float32(xq[r*k+i]) reads the row-major operand matrix
+// directly. kBlk is k&^15; the caller evaluates the tail columns in Go
+// with the identical expression. dw entries are stored, not
+// accumulated.
+//
+//go:noescape
+func bwdAffineDWAVX2(dw *float32, xq *uint8, dyc *float32, aRow, bRow *float32, zx float32, rows, k, kBlk int64)
+
+// bwdGatherDWAVX2 is the general-table counterpart: the parenthesized
+// term is gwPad[woff[i] + xq[r*k+i]] fetched by VGATHERDPS, with
+// woff[i] = wq[oc][i]*padStride precomputed by the caller. Blocks of 8
+// columns over i in [0, kBlk) (kBlk = k&^7), r ascending.
+//
+//go:noescape
+func bwdGatherDWAVX2(dw *float32, xq *uint8, dyc *float32, woff *int32, gwPad *float32, zx float32, rows, k, kBlk int64)
+
+// bwdAffineDXAVX2 accumulates, for one k column,
+//
+//	dxrow[r] = sum_{oc<outC} gsT[oc*rows+r] * ((aCol[oc]*float32(xcol[r]) + bCol[oc]) - zwCol[oc])
+//
+// over r in [0, rows32) in chunks of 32 rows, oc ascending per lane.
+// gsT holds the pre-scaled gradients dy[r][oc]*s_w[oc]; rows32 is
+// rows&^31 and the caller evaluates the tail rows in Go. dxrow entries
+// are stored, not accumulated.
+//
+//go:noescape
+func bwdAffineDXAVX2(dxrow *float32, xcol *uint8, gsT *float32, aCol, bCol, zwCol *float32, rows32, rows, outC int64)
+
+// bwdGatherDXAVX2 is the general-table counterpart: the parenthesized
+// term is gxPad[woffCol[oc] + xcol[r]] fetched by VGATHERDPS, with
+// woffCol[oc] = wq[oc][i]*padStride precomputed by the caller.
+//
+//go:noescape
+func bwdGatherDXAVX2(dxrow *float32, xcol *uint8, gsT *float32, woffCol *int32, gxPad *float32, zwCol *float32, rows32, rows, outC int64)

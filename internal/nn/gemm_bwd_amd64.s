@@ -1,0 +1,318 @@
+#include "textflag.h"
+
+// AVX2 kernels for the tiered backward GEMM: see kernels_backward.go
+// for the dispatch and the bit-exactness argument, and
+// gemm_bwd_amd64.go for the calling contracts. The invariant all four
+// kernels share: SIMD lanes map to independent destinations (k columns
+// for the dW kernels, rows for the dX kernels) while the summation
+// direction (r for dW, oc for dX) stays a sequential scalar loop, so
+// every destination accumulates its terms in exactly the reference
+// order. All float arithmetic is separately rounded VMULPS / VADDPS /
+// VSUBPS — never FMA — matching the Go expressions (and, for the
+// affine kernels, the verifier's reconstruction) bit for bit.
+
+// func bwdAffineDWAVX2(dw *float32, xq *uint8, dyc *float32, aRow, bRow *float32, zx float32, rows, k, kBlk int64)
+//
+// Register plan:
+//   DI = dw   SI = xq   R8 = dyc   R9 = aRow   R10 = bRow
+//   R12 = rows  R13 = k  R14 = kBlk  BX = ib  DX = x cursor
+//   AX = dyc cursor  CX = row countdown
+//   Y0,Y1 = accumulators  Y2,Y3 = a lanes  Y4,Y5 = b lanes
+//   Y6 = zx bcast  Y7 = g bcast  Y8,Y9 = scratch
+TEXT ·bwdAffineDWAVX2(SB), NOSPLIT, $0-72
+	MOVQ dw+0(FP), DI
+	MOVQ xq+8(FP), SI
+	MOVQ dyc+16(FP), R8
+	MOVQ aRow+24(FP), R9
+	MOVQ bRow+32(FP), R10
+	MOVQ rows+48(FP), R12
+	MOVQ k+56(FP), R13
+	MOVQ kBlk+64(FP), R14
+	VBROADCASTSS zx+40(FP), Y6
+
+	XORQ BX, BX            // ib = 0
+
+adwblk:
+	CMPQ BX, R14
+	JGE  adwdone
+
+	VMOVUPS (R9)(BX*4), Y2   // a for columns ib..ib+7
+	VMOVUPS 32(R9)(BX*4), Y3 // a for columns ib+8..ib+15
+	VMOVUPS (R10)(BX*4), Y4
+	VMOVUPS 32(R10)(BX*4), Y5
+	VPXOR   Y0, Y0, Y0
+	VPXOR   Y1, Y1, Y1
+
+	LEAQ (SI)(BX*1), DX    // &xq[ib], advances by k per row
+	MOVQ R8, AX
+	MOVQ R12, CX
+
+adwrow:
+	VBROADCASTSS (AX), Y7  // g = dyc[r]
+	VPMOVZXBD    (DX), Y8  // 8 operand levels -> int32 lanes
+	VPMOVZXBD    8(DX), Y9
+	VCVTDQ2PS    Y8, Y8    // exact: levels < 2^8
+	VCVTDQ2PS    Y9, Y9
+	VMULPS       Y2, Y8, Y8
+	VMULPS       Y3, Y9, Y9
+	VADDPS       Y4, Y8, Y8
+	VADDPS       Y5, Y9, Y9
+	VSUBPS       Y6, Y8, Y8 // t - zx
+	VSUBPS       Y6, Y9, Y9
+	VMULPS       Y7, Y8, Y8
+	VMULPS       Y7, Y9, Y9
+	VADDPS       Y8, Y0, Y0
+	VADDPS       Y9, Y1, Y1
+	ADDQ         R13, DX
+	ADDQ         $4, AX
+	DECQ         CX
+	JNZ          adwrow
+
+	VMOVUPS Y0, (DI)(BX*4)
+	VMOVUPS Y1, 32(DI)(BX*4)
+	ADDQ    $16, BX
+	JMP     adwblk
+
+adwdone:
+	VZEROUPPER
+	RET
+
+// func bwdGatherDWAVX2(dw *float32, xq *uint8, dyc *float32, woff *int32, gwPad *float32, zx float32, rows, k, kBlk int64)
+//
+//   DI = dw   SI = xq   R8 = dyc   R9 = woff   R10 = gwPad
+//   R12 = rows  R13 = k  R14 = kBlk  BX = ib  DX = x cursor
+//   AX = dyc cursor  CX = row countdown
+//   Y0 = accumulator  Y2 = row offsets  Y5 = gather mask  Y6 = zx
+//   Y7 = g  Y8 = index  Y9 = gathered values
+TEXT ·bwdGatherDWAVX2(SB), NOSPLIT, $0-72
+	MOVQ dw+0(FP), DI
+	MOVQ xq+8(FP), SI
+	MOVQ dyc+16(FP), R8
+	MOVQ woff+24(FP), R9
+	MOVQ gwPad+32(FP), R10
+	MOVQ rows+48(FP), R12
+	MOVQ k+56(FP), R13
+	MOVQ kBlk+64(FP), R14
+	VBROADCASTSS zx+40(FP), Y6
+
+	XORQ BX, BX
+
+gdwblk:
+	CMPQ BX, R14
+	JGE  gdwdone
+
+	VMOVDQU (R9)(BX*4), Y2 // wq*padStride for columns ib..ib+7
+	VPXOR   Y0, Y0, Y0
+
+	LEAQ (SI)(BX*1), DX
+	MOVQ R8, AX
+	MOVQ R12, CX
+
+gdwrow:
+	VBROADCASTSS (AX), Y7
+	VPMOVZXBD    (DX), Y8
+	VPADDD       Y2, Y8, Y8 // index = woff + x
+	VPCMPEQD     Y5, Y5, Y5 // gather consumes the mask: reset to all-ones
+	VGATHERDPS   Y5, (R10)(Y8*4), Y9
+	VSUBPS       Y6, Y9, Y9
+	VMULPS       Y7, Y9, Y9
+	VADDPS       Y9, Y0, Y0
+	ADDQ         R13, DX
+	ADDQ         $4, AX
+	DECQ         CX
+	JNZ          gdwrow
+
+	VMOVUPS Y0, (DI)(BX*4)
+	ADDQ    $8, BX
+	JMP     gdwblk
+
+gdwdone:
+	VZEROUPPER
+	RET
+
+// func bwdAffineDXAVX2(dxrow *float32, xcol *uint8, gsT *float32, aCol, bCol, zwCol *float32, rows32, rows, outC int64)
+//
+//   DI = dxrow  SI = xcol  R8 = gsT  R9 = aCol  R10 = bCol  R11 = zwCol
+//   R12 = rows32  R13 = rows  R14 = outC  BX = rb  CX = oc
+//   AX = gsT row cursor  DX = x cursor
+//   Y0..Y3 = accumulators (4 x 8 rows)  Y4 = a  Y5 = b  Y6 = zw
+//   Y7 = t scratch  Y8 = gs
+TEXT ·bwdAffineDXAVX2(SB), NOSPLIT, $0-72
+	MOVQ dxrow+0(FP), DI
+	MOVQ xcol+8(FP), SI
+	MOVQ gsT+16(FP), R8
+	MOVQ aCol+24(FP), R9
+	MOVQ bCol+32(FP), R10
+	MOVQ zwCol+40(FP), R11
+	MOVQ rows32+48(FP), R12
+	MOVQ rows+56(FP), R13
+	MOVQ outC+64(FP), R14
+
+	XORQ BX, BX            // rb = 0
+
+adxblk:
+	CMPQ BX, R12
+	JGE  adxdone
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+
+	XORQ CX, CX            // oc = 0
+
+adxoc:
+	CMPQ CX, R14
+	JGE  adxstore
+
+	VBROADCASTSS (R9)(CX*4), Y4
+	VBROADCASTSS (R10)(CX*4), Y5
+	VBROADCASTSS (R11)(CX*4), Y6
+	MOVQ         CX, AX
+	IMULQ        R13, AX
+	ADDQ         BX, AX
+	LEAQ         (R8)(AX*4), AX // &gsT[oc*rows+rb]
+	LEAQ         (SI)(BX*1), DX // &xcol[rb]
+
+	VPMOVZXBD (DX), Y7
+	VCVTDQ2PS Y7, Y7
+	VMULPS    Y4, Y7, Y7
+	VADDPS    Y5, Y7, Y7
+	VSUBPS    Y6, Y7, Y7
+	VMOVUPS   (AX), Y8
+	VMULPS    Y8, Y7, Y7
+	VADDPS    Y7, Y0, Y0
+
+	VPMOVZXBD 8(DX), Y7
+	VCVTDQ2PS Y7, Y7
+	VMULPS    Y4, Y7, Y7
+	VADDPS    Y5, Y7, Y7
+	VSUBPS    Y6, Y7, Y7
+	VMOVUPS   32(AX), Y8
+	VMULPS    Y8, Y7, Y7
+	VADDPS    Y7, Y1, Y1
+
+	VPMOVZXBD 16(DX), Y7
+	VCVTDQ2PS Y7, Y7
+	VMULPS    Y4, Y7, Y7
+	VADDPS    Y5, Y7, Y7
+	VSUBPS    Y6, Y7, Y7
+	VMOVUPS   64(AX), Y8
+	VMULPS    Y8, Y7, Y7
+	VADDPS    Y7, Y2, Y2
+
+	VPMOVZXBD 24(DX), Y7
+	VCVTDQ2PS Y7, Y7
+	VMULPS    Y4, Y7, Y7
+	VADDPS    Y5, Y7, Y7
+	VSUBPS    Y6, Y7, Y7
+	VMOVUPS   96(AX), Y8
+	VMULPS    Y8, Y7, Y7
+	VADDPS    Y7, Y3, Y3
+
+	INCQ CX
+	JMP  adxoc
+
+adxstore:
+	VMOVUPS Y0, (DI)(BX*4)
+	VMOVUPS Y1, 32(DI)(BX*4)
+	VMOVUPS Y2, 64(DI)(BX*4)
+	VMOVUPS Y3, 96(DI)(BX*4)
+	ADDQ    $32, BX
+	JMP     adxblk
+
+adxdone:
+	VZEROUPPER
+	RET
+
+// func bwdGatherDXAVX2(dxrow *float32, xcol *uint8, gsT *float32, woffCol *int32, gxPad *float32, zwCol *float32, rows32, rows, outC int64)
+//
+//   DI = dxrow  SI = xcol  R8 = gsT  R9 = woffCol  R10 = gxPad
+//   R11 = zwCol  R12 = rows32  R13 = rows  R14 = outC
+//   BX = rb  CX = oc  AX = gsT row cursor  DX = x cursor
+//   R15 = gradient-row base (gxPad + woffCol[oc])
+//   Y0..Y3 = accumulators  Y4 = zw  Y5 = gs  Y6 = index
+//   Y7 = gather mask  Y8 = gathered values
+TEXT ·bwdGatherDXAVX2(SB), NOSPLIT, $0-72
+	MOVQ dxrow+0(FP), DI
+	MOVQ xcol+8(FP), SI
+	MOVQ gsT+16(FP), R8
+	MOVQ woffCol+24(FP), R9
+	MOVQ gxPad+32(FP), R10
+	MOVQ zwCol+40(FP), R11
+	MOVQ rows32+48(FP), R12
+	MOVQ rows+56(FP), R13
+	MOVQ outC+64(FP), R14
+
+	XORQ BX, BX
+
+gdxblk:
+	CMPQ BX, R12
+	JGE  gdxdone
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+
+	XORQ CX, CX
+
+gdxoc:
+	CMPQ CX, R14
+	JGE  gdxstore
+
+	VBROADCASTSS (R11)(CX*4), Y4
+	MOVLQSX      (R9)(CX*4), AX
+	LEAQ         (R10)(AX*4), R15 // gradient row for this channel's weight level
+	MOVQ         CX, AX
+	IMULQ        R13, AX
+	ADDQ         BX, AX
+	LEAQ         (R8)(AX*4), AX
+	LEAQ         (SI)(BX*1), DX
+
+	VPMOVZXBD  (DX), Y6
+	VPCMPEQD   Y7, Y7, Y7
+	VGATHERDPS Y7, (R15)(Y6*4), Y8
+	VSUBPS     Y4, Y8, Y8
+	VMOVUPS    (AX), Y5
+	VMULPS     Y5, Y8, Y8
+	VADDPS     Y8, Y0, Y0
+
+	VPMOVZXBD  8(DX), Y6
+	VPCMPEQD   Y7, Y7, Y7
+	VGATHERDPS Y7, (R15)(Y6*4), Y8
+	VSUBPS     Y4, Y8, Y8
+	VMOVUPS    32(AX), Y5
+	VMULPS     Y5, Y8, Y8
+	VADDPS     Y8, Y1, Y1
+
+	VPMOVZXBD  16(DX), Y6
+	VPCMPEQD   Y7, Y7, Y7
+	VGATHERDPS Y7, (R15)(Y6*4), Y8
+	VSUBPS     Y4, Y8, Y8
+	VMOVUPS    64(AX), Y5
+	VMULPS     Y5, Y8, Y8
+	VADDPS     Y8, Y2, Y2
+
+	VPMOVZXBD  24(DX), Y6
+	VPCMPEQD   Y7, Y7, Y7
+	VGATHERDPS Y7, (R15)(Y6*4), Y8
+	VSUBPS     Y4, Y8, Y8
+	VMOVUPS    96(AX), Y5
+	VMULPS     Y5, Y8, Y8
+	VADDPS     Y8, Y3, Y3
+
+	INCQ CX
+	JMP  gdxoc
+
+gdxstore:
+	VMOVUPS Y0, (DI)(BX*4)
+	VMOVUPS Y1, 32(DI)(BX*4)
+	VMOVUPS Y2, 64(DI)(BX*4)
+	VMOVUPS Y3, 96(DI)(BX*4)
+	ADDQ    $32, BX
+	JMP     gdxblk
+
+gdxdone:
+	VZEROUPPER
+	RET

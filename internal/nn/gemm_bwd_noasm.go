@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 fallback: the backward tiers' SIMD kernels are
+// unavailable; kernels_backward.go passes zero block bounds (kBlk,
+// rows32) when hasGemmAsm is false, so the pure-Go loops cover every
+// column/row and the stubs below are unreachable.
+
+func bwdAffineDWAVX2(dw *float32, xq *uint8, dyc *float32, aRow, bRow *float32, zx float32, rows, k, kBlk int64) {
+	panic("nn: backward kernel called without assembly support")
+}
+
+func bwdGatherDWAVX2(dw *float32, xq *uint8, dyc *float32, woff *int32, gwPad *float32, zx float32, rows, k, kBlk int64) {
+	panic("nn: backward kernel called without assembly support")
+}
+
+func bwdAffineDXAVX2(dxrow *float32, xcol *uint8, gsT *float32, aCol, bCol, zwCol *float32, rows32, rows, outC int64) {
+	panic("nn: backward kernel called without assembly support")
+}
+
+func bwdGatherDXAVX2(dxrow *float32, xcol *uint8, gsT *float32, woffCol *int32, gxPad *float32, zwCol *float32, rows32, rows, outC int64) {
+	panic("nn: backward kernel called without assembly support")
+}

@@ -166,14 +166,14 @@ func (c *ApproxConv2D) Infer(x *tensor.Tensor) *tensor.Tensor {
 	}
 
 	rows := batch * g.OutH * g.OutW
-	c.cols = tensor.Ensure(c.cols, rows, k)
+	c.cols = tensor.Ensure2(c.cols, rows, k)
 	tensor.Im2ColInto(c.cols, x, g)
 	c.xq = grow(c.xq, rows*k)
 	quantizeInto(c.xq, c.cols.Data, px)
 
-	c.flat = tensor.Ensure(c.flat, rows, c.OutC)
+	c.flat = tensor.Ensure2(c.flat, rows, c.OutC)
 	c.op.ForwardGEMM(&c.ks, c.flat.Data, c.xq, c.wq, rows, c.OutC, k, c.pw, px, c.Bias.Value.Data)
-	c.y = tensor.Ensure(c.y, batch, g.OutC, g.OutH, g.OutW)
+	c.y = tensor.Ensure4(c.y, batch, g.OutC, g.OutH, g.OutW)
 	rowsToNCHWInto(c.y, c.flat, batch, g)
 	return c.y
 }
@@ -195,7 +195,7 @@ func (l *ApproxLinear) Infer(x *tensor.Tensor) *tensor.Tensor {
 	quantizeInto(l.xq, x.Data, px)
 	l.wq = grow(l.wq, len(l.Weight.Value.Data))
 	quantizeInto(l.wq, l.Weight.Value.Data, p)
-	l.out = tensor.Ensure(l.out, rows, l.Out)
+	l.out = tensor.Ensure2(l.out, rows, l.Out)
 	l.op.ForwardGEMM(&l.ks, l.out.Data, l.xq, l.wq, rows, l.Out, l.In, l.pw, px, l.Bias.Value.Data)
 	return l.out
 }

@@ -118,6 +118,9 @@ func TestPredictFreshModel(t *testing.T) {
 // the clip masks, ReLU masks, argmax maps, and xhat caches are never
 // built.
 func TestPredictSkipsBackwardScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates nondeterministically; the Forward/Predict margin is now a handful of allocs")
+	}
 	op := STEOp(appmult.NewAccurate(7))
 	rng := rand.New(rand.NewSource(5))
 	m := inferModel(op, false, rng)

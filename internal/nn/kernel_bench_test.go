@@ -96,6 +96,33 @@ func BenchmarkKernel_GEMMBackwardBlocked(b *testing.B) {
 	}
 }
 
+// BenchmarkKernel_GEMMBackwardAffine exercises the gather-free affine
+// tier: STE gradient tables are constant per row, so auto-dispatch
+// selects BwdPathAffine (kernels_backward.go) at this shape.
+func BenchmarkKernel_GEMMBackwardAffine(b *testing.B) {
+	o := makeBenchOperands()
+	e, ok := appmult.Lookup("mul7u_rm6")
+	if !ok {
+		b.Fatal("mul7u_rm6 missing")
+	}
+	op := STEOp(e.Mult)
+	var s KernelScratch
+	dw := make([]float32, benchOutC*benchK)
+	dx := make([]float32, benchRows*benchK)
+	gsum := make([]float32, benchOutC)
+	op.BackwardGEMM(&s, dw, dx, gsum, o.dy, o.xq, o.wq, o.xClip, o.wClip,
+		benchRows, benchOutC, benchK, o.pw, o.px) // warm the arena
+	if got := op.BackwardPath(benchOutC, benchK); got != BwdPathAffine {
+		b.Fatalf("expected affine dispatch, got %q", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.BackwardGEMM(&s, dw, dx, gsum, o.dy, o.xq, o.wq, o.xClip, o.wClip,
+			benchRows, benchOutC, benchK, o.pw, o.px)
+	}
+}
+
 func BenchmarkKernel_GEMMBackwardRef(b *testing.B) {
 	o := makeBenchOperands()
 	b.ReportAllocs()

@@ -59,10 +59,38 @@ type KernelScratch struct {
 	xT  []uint8
 	dyT []float32
 	dxT []float32
+	// Backward tier state (kernels_backward.go): gsT holds the
+	// pre-scaled gradients gsT[oc][r] = dy[r][oc]*s_w[oc] the dW sweep
+	// produces for the dX sweep; awk/bwk (outC x k) and axk/bxk
+	// (k x outC) are the gathered per-(oc,i) affine coefficients;
+	// woffW/woffX are the padded-row offsets wq*padStride the gather
+	// kernels index with.
+	gsT   []float32
+	awk   []float32
+	bwk   []float32
+	axk   []float32
+	bxk   []float32
+	woffW []int32
+	woffX []int32
 	// Arith pair tier: the per-call VPMADDUBSW coefficient stream
 	// (outC x ceil(k/2) x nT byte pairs), built once per ForwardGEMM
 	// and shared read-only by every row-block worker.
 	cwp []uint8
+	// Reusable RangeRunner bodies for the pool dispatches on the step
+	// hot path (kernels_runners.go) — kept in the arena so passing
+	// &s.<runner> to the *On scheduling entry points allocates nothing.
+	sumRun   levelSumRun
+	qcRun    quantClipRun
+	fwdB16   fwdBlockedRun[uint16]
+	fwdB32   fwdBlockedRun[uint32]
+	arithRun arithFwdRun
+	tU8Run   transU8Run
+	tF32Run  transF32Run
+	dwRun    bwdDWRun
+	dxRun    bwdDXRun
+	toutRun  bwdTransOutRun
+	sdwRun   bwdSmallDWRun
+	sdxRun   bwdSmallDXRun
 }
 
 // grow returns s resized to n elements, reallocating only when the
@@ -112,26 +140,13 @@ func (op *Op) ForwardGEMM(s *KernelScratch, dst []float32, xq, wq []uint8, rows,
 
 	// Eq. (8) cross terms: per-column and per-row level sums.
 	s.sumW = grow(s.sumW, outC)
-	tensor.ParallelRows(outC, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			var sum int64
-			for _, q := range wq[oc*k : (oc+1)*k] {
-				sum += int64(q)
-			}
-			s.sumW[oc] = sum
-		}
-	})
+	s.levelSums(s.sumW, wq, outC, k)
 	s.sumX = grow(s.sumX, rows)
-	tensor.ParallelRows(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			var sum int64
-			for _, q := range xq[r*k : (r+1)*k] {
-				sum += int64(q)
-			}
-			s.sumX[r] = sum
-		}
-	})
+	s.levelSums(s.sumX, xq, rows, k)
 
+	// int32 accumulation is safe when the worst-case row sum fits (see
+	// forwardPath, which applies the same gate to the tier choice).
+	use32 := uint64(op.lutMax)*uint64(k) <= math.MaxInt32
 	switch path := op.forwardPath(rows, k); path {
 	case FwdPathBehavioral:
 		if op.MulFn == nil {
@@ -144,16 +159,21 @@ func (op *Op) ForwardGEMM(s *KernelScratch, dst []float32, xq, wq []uint8, rows,
 		op.forwardArith(s, dst, xq, wq, rows, outC, k, bias, zx)
 	case FwdPathPacked16:
 		kernelForwardPacked16.Inc()
-		forwardBlocked(op, s, dst, op.lutPad16, xq, wq, rows, outC, k, bias, zx)
+		s.fwdB16 = fwdBlockedRun[uint16]{s: s, dst: dst, lutPad: op.lutPad16,
+			xq: xq, wq: wq, bias: bias, outC: outC, k: k, zx: zx, use32: use32}
+		tensor.ParallelBlocksOn(rows, fwdRowTile, &s.fwdB16)
 	default:
 		kernelForwardBlocked.Inc()
-		forwardBlocked(op, s, dst, op.lutPad, xq, wq, rows, outC, k, bias, zx)
+		s.fwdB32 = fwdBlockedRun[uint32]{s: s, dst: dst, lutPad: op.lutPad,
+			xq: xq, wq: wq, bias: bias, outC: outC, k: k, zx: zx, use32: use32}
+		tensor.ParallelBlocksOn(rows, fwdRowTile, &s.fwdB32)
 	}
 }
 
 // Forward dispatch tier names, in descending preference order. They
 // double as the `path` label values of the nn_kernel_dispatch_total
-// metric (backward adds "blocked"/"small", the reference kernels "ref").
+// metric (the backward tiers are the BwdPath* constants in
+// kernels_backward.go, the reference kernels "ref").
 const (
 	// FwdPathArith is the closed-form strip-arithmetic SIMD tier
 	// (mask-family multipliers on AVX2 hosts; see arith.go).
@@ -221,28 +241,6 @@ func (op *Op) forwardPath(rows, k int) string {
 		return FwdPathPacked16
 	}
 	return FwdPathBlocked
-}
-
-// forwardBlocked runs the blocked-LUT tiers (uint32 or packed uint16
-// rows) over pooled row tiles, picking the accumulator width from the
-// op's overflow gate.
-func forwardBlocked[E uint16 | uint32](op *Op, s *KernelScratch, dst []float32, lutPad []E, xq, wq []uint8, rows, outC, k int, bias []float32, zx int64) {
-	use32 := uint64(op.lutMax)*uint64(k) <= math.MaxInt32
-	tensor.ParallelBlocks(rows, fwdRowTile, func(lo, hi int) {
-		t := fwdTilePool.Get().(*fwdTile)
-		nR := hi - lo
-		t.xt = grow(t.xt, fwdKTile*nR)
-		if use32 {
-			t.acc32 = grow(t.acc32, outC*nR)
-			gemmAccumTiles(t.acc32, t.xt, lutPad, xq, wq, lo, nR, outC, k)
-			fwdEpilogue(dst, t.acc32, s, bias, lo, nR, outC, zx, 0)
-		} else {
-			t.acc64 = grow(t.acc64, outC*nR)
-			gemmAccumTiles(t.acc64, t.xt, lutPad, xq, wq, lo, nR, outC, k)
-			fwdEpilogue(dst, t.acc64, s, bias, lo, nR, outC, zx, 0)
-		}
-		fwdTilePool.Put(t)
-	})
 }
 
 // gemmAccumTiles accumulates acc[oc][r] = sum_i LUT[wq[oc][i], xq[lo+r][i]]
@@ -408,12 +406,14 @@ func (op *Op) forwardBehavioral(s *KernelScratch, dst []float32, xq, wq []uint8,
 	})
 }
 
-// BackwardGEMM is the blocked counterpart of BackwardGEMMRef. It
-// writes the weight gradient into dw (outC x k), the patch-matrix
-// input gradient into dxcols (rows x k), and the per-channel column
-// sums of dy into gsum (outC) — the bias gradient, folded in here so
-// the layers need no separate scalar accumulation pass. s may be nil
-// for one-off calls.
+// BackwardGEMM is the tiered counterpart of BackwardGEMMRef (see
+// kernels_backward.go for the dispatch: affine > mixed > fused >
+// small, every tier bit-exact with the reference). It writes the
+// weight gradient into dw (outC x k), the patch-matrix input gradient
+// into dxcols (rows x k), and the per-channel column sums of dy into
+// gsum (outC) — the bias gradient, folded into the dW sweep so the
+// layers need no separate scalar accumulation pass. s may be nil for
+// one-off calls.
 func (op *Op) BackwardGEMM(s *KernelScratch, dw, dxcols, gsum, dy []float32, xq, wq []uint8, xClip, wClip []bool,
 	rows, outC, k int, pw []quant.Params, px quant.Params) {
 
@@ -425,183 +425,14 @@ func (op *Op) BackwardGEMM(s *KernelScratch, dw, dxcols, gsum, dy []float32, xq,
 		s = &KernelScratch{}
 	}
 	op.ensurePadded()
-	if outC*k < backwardBlockMin {
+	path := op.backwardPath(outC, k)
+	if path == BwdPathSmall {
 		kernelBackwardSmall.Inc()
-		op.backwardSmall(dw, dxcols, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
+		op.backwardSmall(s, dw, dxcols, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
 		return
 	}
-	kernelBackwardBlocked.Inc()
-
-	s.swc = grow(s.swc, outC)
-	s.zwc = grow(s.zwc, outC)
-	for oc := 0; oc < outC; oc++ {
-		p := pwAt(pw, oc)
-		s.swc[oc] = p.Scale
-		s.zwc[oc] = float32(p.Zero)
-	}
-
-	// Operand and upstream-gradient transposes: xT and dxT are
-	// (k x rows) so the backward gather loops scan rows contiguously;
-	// dyT is (outC x rows) for the same reason.
-	s.xT = grow(s.xT, k*rows)
-	transposeU8(s.xT, xq, rows, k)
-	s.dyT = grow(s.dyT, outC*rows)
-	transposeF32(s.dyT, dy, rows, outC)
-	s.dxT = grow(s.dxT, k*rows)
-
-	// Column sums of dy, accumulated in ascending r exactly like the
-	// layers' original bias loop.
-	tensor.ParallelRows(outC, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			var sum float32
-			for _, g := range s.dyT[oc*rows : (oc+1)*rows] {
-				sum += g
-			}
-			gsum[oc] = sum
-		}
-	})
-
-	zx := float32(px.Zero)
-	gwPad, gxPad := op.gwPad, op.gxPad
-
-	// Weight gradients: independent per output channel. For each
-	// (oc, i) the weight level — and so the gradient-LUT row — is
-	// fixed; the scan over r accumulates in ascending order into a
-	// scalar, preserving the reference float semantics bit for bit.
-	// Pairs of k columns share one scan of dy (one load and zero-test
-	// per upstream gradient instead of two); the per-column scalars
-	// stay independent, so the pairing cannot change the result.
-	tensor.ParallelRows(outC, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			dyc := s.dyT[oc*rows : (oc+1)*rows]
-			wr := wq[oc*k : (oc+1)*k]
-			dwr := dw[oc*k : (oc+1)*k]
-			i := 0
-			for ; i+1 < len(wr); i += 2 {
-				gw0 := gwPad[int(wr[i])*padStride : int(wr[i])*padStride+padStride]
-				gw1 := gwPad[int(wr[i+1])*padStride : int(wr[i+1])*padStride+padStride]
-				x0 := s.xT[i*rows : i*rows+rows][:len(dyc)]
-				x1 := s.xT[(i+1)*rows : (i+1)*rows+rows][:len(dyc)]
-				var acc0, acc1 float32
-				for r, g := range dyc {
-					if g == 0 {
-						continue
-					}
-					acc0 += g * (gw0[x0[r]] - zx)
-					acc1 += g * (gw1[x1[r]] - zx)
-				}
-				dwr[i] = acc0
-				dwr[i+1] = acc1
-			}
-			if i < len(wr) {
-				gw := gwPad[int(wr[i])*padStride : int(wr[i])*padStride+padStride]
-				xrow := s.xT[i*rows : i*rows+rows][:len(dyc)]
-				var acc float32
-				for r, g := range dyc {
-					if g == 0 {
-						continue
-					}
-					acc += g * (gw[xrow[r]] - zx)
-				}
-				dwr[i] = acc
-			}
-			for i := range dwr {
-				if wClip[oc*k+i] {
-					dwr[i] = 0
-				} else {
-					dwr[i] *= px.Scale
-				}
-			}
-		}
-	})
-
-	// Input gradients: each k column of dxT is touched by every output
-	// channel but by no other column, so columns parallelize freely.
-	// The oc loop stays outermost-ascending per destination, matching
-	// the reference accumulation order; paired columns share one scan
-	// of dy without mixing their accumulators.
-	tensor.ParallelBlocks(k, transTile, func(lo, hi int) {
-		i := lo
-		for ; i+1 < hi; i += 2 {
-			x0 := s.xT[i*rows : i*rows+rows]
-			x1 := s.xT[(i+1)*rows : (i+1)*rows+rows]
-			d0 := s.dxT[i*rows : i*rows+rows]
-			d1 := s.dxT[(i+1)*rows : (i+1)*rows+rows]
-			for r := range d0 {
-				d0[r] = 0
-			}
-			for r := range d1 {
-				d1[r] = 0
-			}
-			for oc := 0; oc < outC; oc++ {
-				gx0 := gxPad[int(wq[oc*k+i])*padStride : int(wq[oc*k+i])*padStride+padStride]
-				gx1 := gxPad[int(wq[oc*k+i+1])*padStride : int(wq[oc*k+i+1])*padStride+padStride]
-				dyc := s.dyT[oc*rows : (oc+1)*rows]
-				sw := s.swc[oc]
-				zw := s.zwc[oc]
-				d0v := d0[:len(dyc)]
-				d1v := d1[:len(dyc)]
-				x0v := x0[:len(dyc)]
-				x1v := x1[:len(dyc)]
-				for r, g := range dyc {
-					if g == 0 {
-						continue
-					}
-					gs := g * sw
-					d0v[r] += gs * (gx0[x0v[r]] - zw)
-					d1v[r] += gs * (gx1[x1v[r]] - zw)
-				}
-			}
-		}
-		if i < hi {
-			xrow := s.xT[i*rows : i*rows+rows]
-			dxr := s.dxT[i*rows : i*rows+rows]
-			for r := range dxr {
-				dxr[r] = 0
-			}
-			for oc := 0; oc < outC; oc++ {
-				wv := wq[oc*k+i]
-				gx := gxPad[int(wv)*padStride : int(wv)*padStride+padStride]
-				dyc := s.dyT[oc*rows : (oc+1)*rows]
-				sw := s.swc[oc]
-				zw := s.zwc[oc]
-				dxv := dxr[:len(dyc)]
-				xv := xrow[:len(dyc)]
-				for r, g := range dyc {
-					if g == 0 {
-						continue
-					}
-					dxv[r] += (g * sw) * (gx[xv[r]] - zw)
-				}
-			}
-		}
-	})
-
-	// Transpose back to row-major and apply the straight-through clip
-	// mask (zero gradient for operands clamped during quantization).
-	tensor.ParallelBlocks(rows, transTile, func(lo, hi int) {
-		for rb := lo; rb < hi; rb += transTile {
-			rhi := rb + transTile
-			if rhi > hi {
-				rhi = hi
-			}
-			for ib := 0; ib < k; ib += transTile {
-				ihi := ib + transTile
-				if ihi > k {
-					ihi = k
-				}
-				for r := rb; r < rhi; r++ {
-					for i := ib; i < ihi; i++ {
-						v := s.dxT[i*rows+r]
-						if xClip[r*k+i] {
-							v = 0
-						}
-						dxcols[r*k+i] = v
-					}
-				}
-			}
-		}
-	})
+	noteBackwardPath(path)
+	op.backwardBig(path, s, dw, dxcols, gsum, dy, xq, wq, xClip, wClip, rows, outC, k, pw, px)
 }
 
 // backwardBlockMin is the outC*k size below which BackwardGEMM uses
@@ -617,141 +448,78 @@ var backwardBlockMin = 2048
 // with it by construction) writing into the caller's buffers, plus the
 // folded gsum accumulation. The g == 0 test hoisted per (r, oc) skips
 // whole k walks, which the column-blocked kernel cannot do.
-func (op *Op) backwardSmall(dw, dxcols, gsum, dy []float32, xq, wq []uint8, xClip, wClip []bool,
+func (op *Op) backwardSmall(s *KernelScratch, dw, dxcols, gsum, dy []float32, xq, wq []uint8, xClip, wClip []bool,
 	rows, outC, k int, pw []quant.Params, px quant.Params) {
 
-	zx := float32(px.Zero)
-	bits := uint(op.Bits)
-	gw, gx := op.Grads.DW, op.Grads.DX
+	s.sdwRun = bwdSmallDWRun{op: op, dw: dw, gsum: gsum, dy: dy, xq: xq, wq: wq,
+		wClip: wClip, rows: rows, outC: outC, k: k, zx: float32(px.Zero), scale: px.Scale}
+	tensor.ParallelRowsOn(outC, &s.sdwRun)
 
-	tensor.ParallelRows(outC, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			wr := wq[oc*k : (oc+1)*k]
-			dwr := dw[oc*k : (oc+1)*k]
-			for i := range dwr {
-				dwr[i] = 0
-			}
-			var sum float32
-			for r := 0; r < rows; r++ {
-				g := dy[r*outC+oc]
-				sum += g
-				if g == 0 {
-					continue
-				}
-				xr := xq[r*k : (r+1)*k]
-				for i, xv := range xr {
-					idx := int(wr[i])<<bits | int(xv)
-					dwr[i] += g * (gw[idx] - zx)
-				}
-			}
-			gsum[oc] = sum
-			for i := range dwr {
-				if wClip[oc*k+i] {
-					dwr[i] = 0
-				} else {
-					dwr[i] *= px.Scale
-				}
-			}
-		}
-	})
-
-	tensor.ParallelRows(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			xr := xq[r*k : (r+1)*k]
-			dxr := dxcols[r*k : (r+1)*k]
-			for i := range dxr {
-				dxr[i] = 0
-			}
-			for oc := 0; oc < outC; oc++ {
-				g := dy[r*outC+oc]
-				if g == 0 {
-					continue
-				}
-				p := pwAt(pw, oc)
-				gs := g * p.Scale
-				zw := float32(p.Zero)
-				wr := wq[oc*k : (oc+1)*k]
-				for i, xv := range xr {
-					idx := int(wr[i])<<bits | int(xv)
-					dxr[i] += gs * (gx[idx] - zw)
-				}
-			}
-			for i := range dxr {
-				if xClip[r*k+i] {
-					dxr[i] = 0
-				}
-			}
-		}
-	})
+	s.sdxRun = bwdSmallDXRun{op: op, dxcols: dxcols, dy: dy, xq: xq, wq: wq,
+		xClip: xClip, pw: pw, outC: outC, k: k}
+	tensor.ParallelRowsOn(rows, &s.sdxRun)
 }
 
-// transposeU8 writes the (rows x cols) matrix src into dst in
-// (cols x rows) layout, in cache-sized tiles moved through the same
-// 8x8 uint64 block kernel as transposeTileU8.
-func transposeU8(dst, src []uint8, rows, cols int) {
-	tensor.ParallelBlocks(cols, transTile, func(lo, hi int) {
-		for rb := 0; rb < rows; rb += transTile {
-			rhi := rb + transTile
-			if rhi > rows {
-				rhi = rows
-			}
-			i := lo
-			for ; i+7 < hi; i += 8 {
-				r := rb
-				for ; r+7 < rhi; r += 8 {
-					var v [8]uint64
-					for j := 0; j < 8; j++ {
-						v[j] = leU64(src[(r+j)*cols+i:])
-					}
-					transpose8x8(&v)
-					for j := 0; j < 8; j++ {
-						putLeU64(dst[(i+j)*rows+r:], v[j])
-					}
-				}
-				for ; r < rhi; r++ {
-					row := src[r*cols:]
-					for j := 0; j < 8; j++ {
-						dst[(i+j)*rows+r] = row[i+j]
-					}
-				}
-			}
-			for ; i < hi; i++ {
-				for r := rb; r < rhi; r++ {
-					dst[i*rows+r] = src[r*cols+i]
-				}
-			}
+// transposeU8Tiles moves columns [lo, hi) of the (rows x cols) matrix
+// src into dst in (cols x rows) layout, in cache-sized tiles moved
+// through the same 8x8 uint64 block kernel as transposeTileU8. The
+// full-matrix entry point is KernelScratch.transposeU8.
+func transposeU8Tiles(dst, src []uint8, rows, cols, lo, hi int) {
+	for rb := 0; rb < rows; rb += transTile {
+		rhi := rb + transTile
+		if rhi > rows {
+			rhi = rows
 		}
-	})
-}
-
-// transposeF32 is transposeU8 for float32 matrices.
-func transposeF32(dst, src []float32, rows, cols int) {
-	tensor.ParallelBlocks(cols, transTile, func(lo, hi int) {
-		for rb := 0; rb < rows; rb += transTile {
-			rhi := rb + transTile
-			if rhi > rows {
-				rhi = rows
+		i := lo
+		for ; i+7 < hi; i += 8 {
+			r := rb
+			for ; r+7 < rhi; r += 8 {
+				var v [8]uint64
+				for j := 0; j < 8; j++ {
+					v[j] = leU64(src[(r+j)*cols+i:])
+				}
+				transpose8x8(&v)
+				for j := 0; j < 8; j++ {
+					putLeU64(dst[(i+j)*rows+r:], v[j])
+				}
 			}
-			for r := rb; r < rhi; r++ {
+			for ; r < rhi; r++ {
 				row := src[r*cols:]
-				for i := lo; i < hi; i++ {
-					dst[i*rows+r] = row[i]
+				for j := 0; j < 8; j++ {
+					dst[(i+j)*rows+r] = row[i+j]
 				}
 			}
 		}
-	})
+		for ; i < hi; i++ {
+			for r := rb; r < rhi; r++ {
+				dst[i*rows+r] = src[r*cols+i]
+			}
+		}
+	}
+}
+
+// transposeF32Tiles is transposeU8Tiles for float32 matrices.
+func transposeF32Tiles(dst, src []float32, rows, cols, lo, hi int) {
+	for rb := 0; rb < rows; rb += transTile {
+		rhi := rb + transTile
+		if rhi > rows {
+			rhi = rows
+		}
+		for r := rb; r < rhi; r++ {
+			row := src[r*cols:]
+			for i := lo; i < hi; i++ {
+				dst[i*rows+r] = row[i]
+			}
+		}
+	}
 }
 
 // quantizeWithClipInto quantizes a float slice into caller-owned level
 // and clip buffers (see quant.Params.Quantize), scheduling blocks on
-// the worker pool — quantization is a measurable share of the forward
-// pass at training batch sizes.
+// the worker pool. One-off entry point: the layers' step paths call the
+// KernelScratch.quantizeWithClip method instead, whose reused runner
+// keeps the dispatch allocation-free.
 func quantizeWithClipInto(q []uint8, clip []bool, data []float32, p quant.Params) {
-	tensor.ParallelBlocks(len(data), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := data[i]
-			q[i] = uint8(p.Quantize(v))
-			clip[i] = p.Clipped(v)
-		}
-	})
+	r := quantClipRun{q: q, clip: clip, data: data, p: p}
+	tensor.ParallelBlocksOn(len(data), 4096, &r)
 }

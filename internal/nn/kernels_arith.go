@@ -34,56 +34,10 @@ func (op *Op) forwardArith(s *KernelScratch, dst []float32, xq, wq []uint8, rows
 		s.cwp = grow(s.cwp, outC*nKpTot*nT*2)
 		buildPairStream(s.cwp, wq, af, outC, k)
 	}
-	cwp := s.cwp
 
-	tensor.ParallelBlocks(rows, fwdRowTile, func(lo, hi int) {
-		t := fwdTilePool.Get().(*fwdTile)
-		nR := hi - lo
-		t.xt = grow(t.xt, fwdKTile*nR)
-		t.acc32 = grow(t.acc32, outC*nR)
-		acc := t.acc32
-		for i := range acc {
-			acc[i] = 0
-		}
-		nR32 := nR &^ 31
-		for kb := 0; kb < k; kb += fwdKTile {
-			nK := k - kb
-			if nK > fwdKTile {
-				nK = fwdKTile
-			}
-			transposeTileU8(t.xt, xq, lo, nR, kb, nK, k)
-			if usePair && nK&1 == 1 {
-				// Odd k-step count: the pair kernel reads a virtual last
-				// column whose coefficient byte is zero; zero the column
-				// so the dead VPAND input is defined.
-				pad := t.xt[nK*nR : (nK+1)*nR]
-				for i := range pad {
-					pad[i] = 0
-				}
-			}
-			if nR32 > 0 {
-				if usePair {
-					bNKp := (nK + 1) / 2
-					for oc := 0; oc < outC; oc++ {
-						gemmArithPairAVX2(&acc[oc*nR], &t.xt[0],
-							&cwp[(oc*nKpTot+kb/2)*nT*2], &af.xmPair[0],
-							int64(nR), int64(bNKp), int64(nT), int64(af.cadPair))
-					}
-				} else {
-					for oc := 0; oc < outC; oc++ {
-						gemmArithAccumAVX2(&acc[oc*nR], &t.xt[0],
-							&wq[oc*k+kb], &af.cw16[0], &af.xm16[0],
-							int64(nR), int64(nK), int64(nT), int64(af.cadWord))
-					}
-				}
-			}
-			if nR32 < nR {
-				arithTailRows(acc, t.xt, af, wq, nR32, nR, nK, kb, outC, k)
-			}
-		}
-		fwdEpilogue(dst, acc, s, bias, lo, nR, outC, zx, kComp)
-		fwdTilePool.Put(t)
-	})
+	s.arithRun = arithFwdRun{op: op, s: s, dst: dst, xq: xq, wq: wq, bias: bias,
+		outC: outC, k: k, zx: zx, kComp: kComp, usePair: usePair}
+	tensor.ParallelBlocksOn(rows, fwdRowTile, &s.arithRun)
 }
 
 // buildPairStream writes the pair kernel's coefficient stream: for each

@@ -149,12 +149,12 @@ func (l *ApproxLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.rows = x.Shape[0]
 	l.xq = grow(l.xq, len(x.Data))
 	l.xClip = grow(l.xClip, len(x.Data))
-	quantizeWithClipInto(l.xq, l.xClip, x.Data, l.px)
+	l.ks.quantizeWithClip(l.xq, l.xClip, x.Data, l.px)
 	nw := len(l.Weight.Value.Data)
 	l.wq = grow(l.wq, nw)
 	l.wClip = grow(l.wClip, nw)
-	quantizeWithClipInto(l.wq, l.wClip, l.Weight.Value.Data, p)
-	l.out = tensor.Ensure(l.out, l.rows, l.Out)
+	l.ks.quantizeWithClip(l.wq, l.wClip, l.Weight.Value.Data, p)
+	l.out = tensor.Ensure2(l.out, l.rows, l.Out)
 	l.op.ForwardGEMM(&l.ks, l.out.Data, l.xq, l.wq, l.rows, l.Out, l.In, l.pw, l.px, l.Bias.Value.Data)
 	return l.out
 }
@@ -164,7 +164,7 @@ func (l *ApproxLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (l *ApproxLinear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	l.dw = grow(l.dw, l.Out*l.In)
 	l.gsum = grow(l.gsum, l.Out)
-	l.dx = tensor.Ensure(l.dx, l.rows, l.In)
+	l.dx = tensor.Ensure2(l.dx, l.rows, l.In)
 	l.op.BackwardGEMM(&l.ks, l.dw, l.dx.Data, l.gsum, dy.Data, l.xq, l.wq, l.xClip, l.wClip,
 		l.rows, l.Out, l.In, l.pw, l.px)
 	for i, v := range l.dw {

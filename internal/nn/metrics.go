@@ -28,16 +28,37 @@ var (
 	kernelForwardRef = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
 		"kernel", "forward", "path", "ref")
-	kernelBackwardBlocked = obs.Default().Counter("nn_kernel_dispatch_total",
+	kernelBackwardAffine = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
-		"kernel", "backward", "path", "blocked")
+		"kernel", "backward", "path", BwdPathAffine)
+	kernelBackwardMixed = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "backward", "path", BwdPathMixed)
+	kernelBackwardFused = obs.Default().Counter("nn_kernel_dispatch_total",
+		"Approximate-GEMM kernel invocations by dispatch path.",
+		"kernel", "backward", "path", BwdPathFused)
 	kernelBackwardSmall = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
-		"kernel", "backward", "path", "small")
+		"kernel", "backward", "path", BwdPathSmall)
 	kernelBackwardRef = obs.Default().Counter("nn_kernel_dispatch_total",
 		"Approximate-GEMM kernel invocations by dispatch path.",
 		"kernel", "backward", "path", "ref")
 )
+
+// noteBackwardPath counts one tiered BackwardGEMM dispatch. The PR 2
+// general tier's "blocked" label is retired: its successor (the fused
+// gather kernel) reports "fused", and the gather-free tiers report
+// "affine"/"mixed" (see DESIGN.md metric inventory for the relabel).
+func noteBackwardPath(path string) {
+	switch path {
+	case BwdPathAffine:
+		kernelBackwardAffine.Inc()
+	case BwdPathMixed:
+		kernelBackwardMixed.Inc()
+	default:
+		kernelBackwardFused.Inc()
+	}
+}
 
 // noteEstimatorOp counts one EstimatorOp construction per estimator
 // family. The label value is runtime data (the estimator registry

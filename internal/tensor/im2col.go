@@ -41,38 +41,59 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 // (N*outH*outW, K). Every position is written (padding positions get
 // explicit zeros), so dst may hold stale data from a previous step.
 func Im2ColInto(dst, x *Tensor, g ConvGeom) {
+	var j Im2ColJob
+	j.Run(dst, x, g)
+}
+
+// Im2ColJob is a reusable Im2ColInto: a layer keeps one across steps
+// and calls Run, so the parallel dispatch reuses this struct as its
+// RangeRunner instead of allocating a closure context per call.
+type Im2ColJob struct {
+	dst, x *Tensor
+	g      ConvGeom
+	k, chw int
+}
+
+// Run performs Im2ColInto(dst, x, g) through the job's reusable state.
+func (j *Im2ColJob) Run(dst, x *Tensor, g ConvGeom) {
 	n := x.Shape[0]
 	k := g.K()
 	if dst.Shape[0] != n*g.OutH*g.OutW || dst.Shape[1] != k {
 		panic(fmt.Sprintf("tensor: Im2Col destination %v does not match geometry", dst.Shape))
 	}
-	chw := g.InC * g.InH * g.InW
-	ParallelRows(n, func(lo, hi int) {
-		for img := lo; img < hi; img++ {
-			base := img * chw
-			for oy := 0; oy < g.OutH; oy++ {
-				for ox := 0; ox < g.OutW; ox++ {
-					row := ((img*g.OutH+oy)*g.OutW + ox) * k
-					col := 0
-					for c := 0; c < g.InC; c++ {
-						cbase := base + c*g.InH*g.InW
-						for ky := 0; ky < g.KH; ky++ {
-							iy := oy*g.Stride - g.Pad + ky
-							for kx := 0; kx < g.KW; kx++ {
-								ix := ox*g.Stride - g.Pad + kx
-								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
-									dst.Data[row+col] = x.Data[cbase+iy*g.InW+ix]
-								} else {
-									dst.Data[row+col] = 0
-								}
-								col++
+	j.dst, j.x, j.g, j.k = dst, x, g, k
+	j.chw = g.InC * g.InH * g.InW
+	ParallelRowsOn(n, j)
+}
+
+// RunRange expands images [lo, hi); it implements RangeRunner for the
+// pool and is not meant to be called directly.
+func (j *Im2ColJob) RunRange(lo, hi int) {
+	g, k := j.g, j.k
+	for img := lo; img < hi; img++ {
+		base := img * j.chw
+		for oy := 0; oy < g.OutH; oy++ {
+			for ox := 0; ox < g.OutW; ox++ {
+				row := ((img*g.OutH+oy)*g.OutW + ox) * k
+				col := 0
+				for c := 0; c < g.InC; c++ {
+					cbase := base + c*g.InH*g.InW
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride - g.Pad + ky
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride - g.Pad + kx
+							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+								j.dst.Data[row+col] = j.x.Data[cbase+iy*g.InW+ix]
+							} else {
+								j.dst.Data[row+col] = 0
 							}
+							col++
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // Col2Im scatters a patch-matrix gradient (N*outH*outW, K) back into an
@@ -86,6 +107,20 @@ func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
 // Col2ImInto is Col2Im writing into dst, which must be NCHW of the
 // geometry's input shape. dst is zeroed before accumulation.
 func Col2ImInto(dst, cols *Tensor, n int, g ConvGeom) {
+	var j Col2ImJob
+	j.Run(dst, cols, n, g)
+}
+
+// Col2ImJob is the reusable Col2ImInto, symmetric to Im2ColJob.
+type Col2ImJob struct {
+	dst, cols *Tensor
+	g         ConvGeom
+	k, chw    int
+}
+
+// Run performs Col2ImInto(dst, cols, n, g) through the job's reusable
+// state.
+func (j *Col2ImJob) Run(dst, cols *Tensor, n int, g ConvGeom) {
 	k := g.K()
 	if cols.Shape[0] != n*g.OutH*g.OutW || cols.Shape[1] != k {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match geometry", cols.Shape))
@@ -94,33 +129,39 @@ func Col2ImInto(dst, cols *Tensor, n int, g ConvGeom) {
 	if len(dst.Data) != n*chw {
 		panic(fmt.Sprintf("tensor: Col2Im destination %v does not match geometry", dst.Shape))
 	}
+	j.dst, j.cols, j.g, j.k, j.chw = dst, cols, g, k, chw
 	// Parallel over images: each image's scatter touches only its own
 	// output region, so no synchronization is needed.
-	ParallelRows(n, func(lo, hi int) {
-		for img := lo; img < hi; img++ {
-			base := img * chw
-			for i := base; i < base+chw; i++ {
-				dst.Data[i] = 0
-			}
-			for oy := 0; oy < g.OutH; oy++ {
-				for ox := 0; ox < g.OutW; ox++ {
-					row := ((img*g.OutH+oy)*g.OutW + ox) * k
-					col := 0
-					for c := 0; c < g.InC; c++ {
-						cbase := base + c*g.InH*g.InW
-						for ky := 0; ky < g.KH; ky++ {
-							iy := oy*g.Stride - g.Pad + ky
-							for kx := 0; kx < g.KW; kx++ {
-								ix := ox*g.Stride - g.Pad + kx
-								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
-									dst.Data[cbase+iy*g.InW+ix] += cols.Data[row+col]
-								}
-								col++
+	ParallelRowsOn(n, j)
+}
+
+// RunRange scatters images [lo, hi); it implements RangeRunner for the
+// pool and is not meant to be called directly.
+func (j *Col2ImJob) RunRange(lo, hi int) {
+	g, k := j.g, j.k
+	for img := lo; img < hi; img++ {
+		base := img * j.chw
+		for i := base; i < base+j.chw; i++ {
+			j.dst.Data[i] = 0
+		}
+		for oy := 0; oy < g.OutH; oy++ {
+			for ox := 0; ox < g.OutW; ox++ {
+				row := ((img*g.OutH+oy)*g.OutW + ox) * k
+				col := 0
+				for c := 0; c < g.InC; c++ {
+					cbase := base + c*g.InH*g.InW
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride - g.Pad + ky
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride - g.Pad + kx
+							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+								j.dst.Data[cbase+iy*g.InW+ix] += j.cols.Data[row+col]
 							}
+							col++
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }

@@ -15,16 +15,34 @@ import (
 // goroutines are spawned per call — the pool is started once and lives
 // for the process.
 
-// poolJob is one parallel invocation: fn applied to every block of
+// RangeRunner is the closure-free form of a parallel kernel body: an
+// object whose RunRange method processes [lo, hi). The *On variants of
+// ParallelRows/ParallelBlocks accept one so hot per-step call sites can
+// keep a runner struct in long-lived scratch state instead of
+// allocating a closure context per call — on the inline path (one
+// worker, or a single block) the runner is invoked directly and the
+// dispatch allocates nothing.
+type RangeRunner interface {
+	RunRange(lo, hi int)
+}
+
+// funcRunner adapts the closure-based entry points onto RangeRunner.
+// Func values are pointer-shaped, so the interface conversion itself
+// does not allocate (the closure context, if any, was the caller's).
+type funcRunner func(lo, hi int)
+
+func (f funcRunner) RunRange(lo, hi int) { f(lo, hi) }
+
+// poolJob is one parallel invocation: runner applied to every block of
 // [0, n) of size chunk. Workers claim block indices from next until
 // exhausted; wg counts completed blocks.
 type poolJob struct {
-	fn    func(lo, hi int)
-	next  atomic.Int64
-	n     int
-	chunk int
-	nblk  int64
-	wg    sync.WaitGroup
+	runner RangeRunner
+	next   atomic.Int64
+	n      int
+	chunk  int
+	nblk   int64
+	wg     sync.WaitGroup
 }
 
 // run claims and executes blocks until none remain. It is called by
@@ -41,7 +59,7 @@ func (j *poolJob) run() {
 		if hi > j.n {
 			hi = j.n
 		}
-		j.fn(lo, hi)
+		j.runner.RunRange(lo, hi)
 		j.wg.Done()
 	}
 }
@@ -72,10 +90,12 @@ func newWorkerPool(workers int) *workerPool {
 	return p
 }
 
-// run executes fn over [0, n) in blocks of chunk, in parallel across
+// run executes r over [0, n) in blocks of chunk, in parallel across
 // the pool. It returns once every block has completed. A job whose
-// block count is 1 (or a pool without workers) runs inline.
-func (p *workerPool) run(n, chunk int, fn func(lo, hi int)) {
+// block count is 1 (or a pool without workers) runs inline — without
+// allocating, which is what makes the *On entry points alloc-free on
+// single-worker hosts.
+func (p *workerPool) run(n, chunk int, r RangeRunner) {
 	if n <= 0 {
 		return
 	}
@@ -85,13 +105,13 @@ func (p *workerPool) run(n, chunk int, fn func(lo, hi int)) {
 	nblk := (n + chunk - 1) / chunk
 	if p.workers <= 1 || nblk == 1 {
 		poolJobsInline.Inc()
-		fn(0, n)
+		r.RunRange(0, n)
 		return
 	}
 	poolJobsPooled.Inc()
 	poolBlocksTotal.Add(float64(nblk))
 	start := time.Now()
-	j := &poolJob{fn: fn, n: n, chunk: chunk, nblk: int64(nblk)}
+	j := &poolJob{runner: r, n: n, chunk: chunk, nblk: int64(nblk)}
 	j.wg.Add(nblk)
 	// Wake at most nblk-1 workers (the caller handles the rest). The
 	// sends are non-blocking: if the queue is full every worker is
@@ -114,6 +134,11 @@ wakeLoop:
 	poolJobMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 }
 
+// runFn is run for a plain closure body.
+func (p *workerPool) runFn(n, chunk int, fn func(lo, hi int)) {
+	p.run(n, chunk, funcRunner(fn))
+}
+
 var (
 	defaultPool     *workerPool
 	defaultPoolOnce sync.Once
@@ -130,27 +155,42 @@ func pool() *workerPool {
 // ParallelRows splits [0, m) across the persistent worker pool and runs
 // fn on each chunk. Small row counts run inline to avoid handoff
 // overhead. It is the scheduling primitive under every GEMM-shaped
-// kernel in the repository.
+// kernel in the repository. The closure typically costs one heap
+// allocation per call (its context escapes into the pool); per-step hot
+// paths use ParallelRowsOn with a reused runner instead.
 func ParallelRows(m int, fn func(lo, hi int)) {
+	ParallelRowsOn(m, funcRunner(fn))
+}
+
+// ParallelRowsOn is ParallelRows for a reusable RangeRunner: passing a
+// pointer to a runner struct held in long-lived state (a scratch arena,
+// a layer) makes the dispatch allocation-free on the inline path.
+func ParallelRowsOn(m int, r RangeRunner) {
 	if m <= 0 {
 		return
 	}
 	p := pool()
 	if p.workers <= 1 || m < 16 {
 		poolJobsInline.Inc()
-		fn(0, m)
+		r.RunRange(0, m)
 		return
 	}
 	// Four blocks per worker keeps the block queue long enough for
 	// dynamic balancing without making handoff dominate.
 	chunk := (m + 4*p.workers - 1) / (4 * p.workers)
-	p.run(m, chunk, fn)
+	p.run(m, chunk, r)
 }
 
 // ParallelBlocks runs fn over [0, n) in blocks of exactly chunk (the
 // last block may be short), scheduled on the persistent pool. Kernels
 // that tile for cache locality use it to make the parallel grain equal
-// to the cache tile.
+// to the cache tile. Like ParallelRows it allocates for the closure;
+// ParallelBlocksOn is the alloc-free variant.
 func ParallelBlocks(n, chunk int, fn func(lo, hi int)) {
-	pool().run(n, chunk, fn)
+	pool().run(n, chunk, funcRunner(fn))
+}
+
+// ParallelBlocksOn is ParallelBlocks for a reusable RangeRunner.
+func ParallelBlocksOn(n, chunk int, r RangeRunner) {
+	pool().run(n, chunk, r)
 }

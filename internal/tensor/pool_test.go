@@ -25,7 +25,7 @@ func TestWorkerPoolCoversAllBlocks(t *testing.T) {
 	for _, n := range []int{1, 7, 64, 1000, 4097} {
 		for _, chunk := range []int{1, 3, 64, 5000} {
 			counts := make([]int32, n)
-			p.run(n, chunk, func(lo, hi int) {
+			p.runFn(n, chunk, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					atomic.AddInt32(&counts[i], 1)
 				}
@@ -38,14 +38,14 @@ func TestWorkerPoolCoversAllBlocks(t *testing.T) {
 func TestWorkerPoolZeroAndNegative(t *testing.T) {
 	p := newWorkerPool(4)
 	ran := false
-	p.run(0, 8, func(lo, hi int) { ran = true })
-	p.run(-3, 8, func(lo, hi int) { ran = true })
+	p.runFn(0, 8, func(lo, hi int) { ran = true })
+	p.runFn(-3, 8, func(lo, hi int) { ran = true })
 	if ran {
 		t.Error("callback invoked for empty range")
 	}
 	// chunk <= 0 must still cover the range.
 	counts := make([]int32, 10)
-	p.run(10, 0, func(lo, hi int) {
+	p.runFn(10, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddInt32(&counts[i], 1)
 		}
@@ -56,7 +56,7 @@ func TestWorkerPoolZeroAndNegative(t *testing.T) {
 func TestWorkerPoolSingleWorkerInline(t *testing.T) {
 	p := newWorkerPool(1)
 	var calls int // no atomics: inline execution is single-threaded
-	p.run(100, 7, func(lo, hi int) { calls += hi - lo })
+	p.runFn(100, 7, func(lo, hi int) { calls += hi - lo })
 	if calls != 100 {
 		t.Fatalf("covered %d of 100", calls)
 	}
@@ -76,7 +76,7 @@ func TestWorkerPoolConcurrentSubmitters(t *testing.T) {
 			defer wg.Done()
 			for iter := 0; iter < 20; iter++ {
 				counts := make([]int32, n)
-				p.run(n, 19, func(lo, hi int) {
+				p.runFn(n, 19, func(lo, hi int) {
 					for i := lo; i < hi; i++ {
 						atomic.AddInt32(&counts[i], 1)
 					}
@@ -98,11 +98,11 @@ func TestWorkerPoolNestedSubmission(t *testing.T) {
 	p := newWorkerPool(4)
 	outer := make([]int32, 64)
 	var inner int64
-	p.run(len(outer), 4, func(lo, hi int) {
+	p.runFn(len(outer), 4, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddInt32(&outer[i], 1)
 		}
-		p.run(32, 8, func(lo, hi int) {
+		p.runFn(32, 8, func(lo, hi int) {
 			atomic.AddInt64(&inner, int64(hi-lo))
 		})
 	})
@@ -183,7 +183,7 @@ func TestSharedPoolConcurrentCallers(t *testing.T) {
 func TestWorkerPoolRespectsChunk(t *testing.T) {
 	p := newWorkerPool(4)
 	counts := make([]int32, 333)
-	p.run(len(counts), 64, func(lo, hi int) {
+	p.runFn(len(counts), 64, func(lo, hi int) {
 		if hi-lo > 64 {
 			t.Errorf("block [%d,%d) exceeds chunk", lo, hi)
 		}

@@ -68,6 +68,38 @@ func Ensure(t *Tensor, shape ...int) *Tensor {
 	return t
 }
 
+// Ensure2 is Ensure for a fixed 2-D shape. The variadic Ensure's shape
+// slice escapes to the heap at every call site (the panic paths format
+// it), which costs one allocation per call even in steady state; the
+// fixed-arity forms take plain ints, so per-step arena call sites stay
+// allocation-free.
+func Ensure2(t *Tensor, d0, d1 int) *Tensor {
+	if d0 <= 0 || d1 <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive dimension in shape [%d %d]", d0, d1))
+	}
+	n := d0 * d1
+	if t == nil || cap(t.Data) < n {
+		return New(d0, d1)
+	}
+	t.Shape = append(t.Shape[:0], d0, d1)
+	t.Data = t.Data[:n]
+	return t
+}
+
+// Ensure4 is Ensure2 for a fixed 4-D (NCHW) shape.
+func Ensure4(t *Tensor, d0, d1, d2, d3 int) *Tensor {
+	if d0 <= 0 || d1 <= 0 || d2 <= 0 || d3 <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive dimension in shape [%d %d %d %d]", d0, d1, d2, d3))
+	}
+	n := d0 * d1 * d2 * d3
+	if t == nil || cap(t.Data) < n {
+		return New(d0, d1, d2, d3)
+	}
+	t.Shape = append(t.Shape[:0], d0, d1, d2, d3)
+	t.Data = t.Data[:n]
+	return t
+}
+
 // ViewRows returns a view of rows [lo, hi) of t's outermost dimension,
 // sharing t's backing storage (no copy). It is how the sharded trainer
 // hands each replica its contiguous slice of a minibatch: mutating the
